@@ -1,0 +1,47 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+GO ?= go
+
+.PHONY: build test test-short bench bench-quick vet fmt experiments examples cover
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Full test suite (a few minutes: includes integration tests and the
+# quick-scale run of every experiment).
+test:
+	$(GO) test ./...
+
+# Seconds-scale subset for CI.
+test-short:
+	$(GO) test -short ./...
+
+# Regenerate every paper table/figure as benchmarks (full scale; long).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Quick-scale benchmark sweep.
+bench-quick:
+	$(GO) test -short -bench=. -benchmem ./...
+
+# Print every paper table/figure plus extensions and ablations.
+experiments:
+	$(GO) run ./cmd/experiments all
+
+# Smoke-run every example.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/throughput-scaling
+	$(GO) run ./examples/simulator-validation
+	$(GO) run ./examples/prefetch-study
+	$(GO) run ./examples/bandwidth-bandit
+	$(GO) run ./examples/multithreaded-target
+
+cover:
+	$(GO) test -cover ./...

@@ -1,0 +1,165 @@
+package cachepirate_test
+
+import (
+	"testing"
+
+	"cachepirate"
+	"cachepirate/internal/cache"
+)
+
+// smallConfig scales the public-API tests down to seconds.
+func smallConfig() cachepirate.Config {
+	mcfg := cachepirate.NehalemMachine()
+	mcfg.L1 = cache.Config{Name: "L1", Size: 1 << 10, Ways: 2, LineSize: 64, Policy: cache.LRU}
+	mcfg.L2 = cache.Config{Name: "L2", Size: 4 << 10, Ways: 4, LineSize: 64, Policy: cache.LRU}
+	mcfg.L3 = cache.Config{Name: "L3", Size: 64 << 10, Ways: 16, LineSize: 64, Policy: cache.Nehalem}
+	mcfg.NewPrefetcher = nil
+	var sizes []int64
+	for s := int64(16 << 10); s <= 64<<10; s += 16 << 10 {
+		sizes = append(sizes, s)
+	}
+	return cachepirate.Config{
+		Machine:            mcfg,
+		Sizes:              sizes,
+		IntervalInstrs:     20_000,
+		Cycles:             1,
+		TargetWarmupInstrs: 10_000,
+		Threads:            1,
+	}
+}
+
+func TestWorkloadsRegistry(t *testing.T) {
+	ws := cachepirate.Workloads()
+	if len(ws) < 15 {
+		t.Fatalf("suite has %d workloads", len(ws))
+	}
+	spec := cachepirate.Workload("lbm")
+	if spec.Paper != "470.lbm" {
+		t.Errorf("lbm paper ref = %q", spec.Paper)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Workload on bogus name did not panic")
+		}
+	}()
+	cachepirate.Workload("bogus")
+}
+
+func TestNehalemMachineExports(t *testing.T) {
+	m := cachepirate.NehalemMachine()
+	if m.Cores != 4 || m.L3.Size != 8<<20 {
+		t.Errorf("NehalemMachine: %+v", m)
+	}
+	np := cachepirate.NehalemMachineNoPrefetch()
+	if np.NewPrefetcher != nil {
+		t.Error("NehalemMachineNoPrefetch still has a prefetcher")
+	}
+}
+
+func TestPublicProfileEndToEnd(t *testing.T) {
+	cfg := smallConfig()
+	gen := cachepirate.Workload("microrand")
+	// microrand's 6MB span dwarfs the test L3: every size should be
+	// measurable and the curve non-trivial.
+	curve, rep, err := cachepirate.Profile(cfg, gen.New)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ThreadsUsed != 1 {
+		t.Errorf("threads = %d", rep.ThreadsUsed)
+	}
+	if len(curve.Points) != 4 {
+		t.Fatalf("points = %d", len(curve.Points))
+	}
+	for _, p := range curve.Points {
+		if p.CPI <= 0 || p.FetchRatio <= 0 {
+			t.Errorf("degenerate point %+v", p)
+		}
+	}
+}
+
+func TestPublicProfileFixedAndOverhead(t *testing.T) {
+	cfg := smallConfig()
+	gen := cachepirate.Workload("microrand")
+	pt, err := cachepirate.ProfileFixed(cfg, gen.New, 32<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.CacheBytes != 32<<10 || pt.Samples == 0 {
+		t.Errorf("fixed point %+v", pt)
+	}
+	_, _, ov, err := cachepirate.MeasureOverhead(cfg, gen.New)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Overhead() < 0 {
+		t.Errorf("negative overhead %g", ov.Overhead())
+	}
+}
+
+func TestPublicDetermineThreadsAndSteal(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Threads = 0
+	gen := cachepirate.Workload("microrand")
+	n, cpis, err := cachepirate.DetermineThreads(cfg, gen.New)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 || len(cpis) == 0 {
+		t.Errorf("threads=%d cpis=%v", n, cpis)
+	}
+	res, err := cachepirate.MaxStealable(cfg, gen.New, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ProbedWSS) == 0 {
+		t.Error("no steal probes")
+	}
+}
+
+func TestPublicPredictScaling(t *testing.T) {
+	curve := &cachepirate.Curve{Name: "t", Points: []cachepirate.Point{
+		{CacheBytes: 2 << 20, CPI: 2, BandwidthGBs: 3, Trusted: true},
+		{CacheBytes: 8 << 20, CPI: 1, BandwidthGBs: 1, Trusted: true},
+	}}
+	p, err := cachepirate.PredictScaling(curve, 4, 8<<20, 10.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PredictedThroughput <= 0 || p.PredictedThroughput > 4 {
+		t.Errorf("prediction %+v", p)
+	}
+}
+
+func TestPublicProfileMulti(t *testing.T) {
+	cfg := smallConfig()
+	gen := cachepirate.Workload("microrand")
+	curve, rep, err := cachepirate.ProfileMulti(cfg, []int{0, 1}, gen.New)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RankCPIs) != 2 || len(curve.Points) == 0 {
+		t.Errorf("multi profile: %d ranks, %d points", len(rep.RankCPIs), len(curve.Points))
+	}
+}
+
+func TestPublicProfileBandwidth(t *testing.T) {
+	mcfg := smallConfig().Machine
+	cfg := cachepirate.BanditConfig{
+		Machine:        mcfg,
+		Paces:          []uint32{0, 16},
+		IntervalInstrs: 20_000,
+		WarmupInstrs:   10_000,
+	}
+	gen := cachepirate.Workload("microseq")
+	curve, err := cachepirate.ProfileBandwidth(cfg, gen.New)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 3 {
+		t.Fatalf("bandit points = %d", len(curve.Points))
+	}
+	if curve.MaxGBs <= 0 {
+		t.Error("max bandwidth not reported")
+	}
+}

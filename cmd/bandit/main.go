@@ -1,0 +1,87 @@
+// Command bandit runs the Bandwidth Bandit extension (§VI future
+// work): it measures a suite benchmark's performance as a function of
+// the off-chip bandwidth available to it, by co-running paced
+// bandwidth-eating threads and reading performance counters.
+//
+// Usage:
+//
+//	bandit [-interval N] [-paces 0,4,16,64] [-seed N] [-csv] <benchmark>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cachepirate"
+	"cachepirate/internal/report"
+)
+
+func main() {
+	interval := flag.Uint64("interval", 150_000, "measurement interval in target instructions")
+	pacesArg := flag.String("paces", "", "comma-separated pacing levels (default 0,2,4,8,16,32,96)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bandit [flags] <benchmark>")
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	var spec cachepirate.WorkloadSpec
+	found := false
+	for _, s := range cachepirate.Workloads() {
+		if s.Name == name {
+			spec, found = s, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+		os.Exit(2)
+	}
+
+	cfg := cachepirate.BanditConfig{
+		Machine:        cachepirate.NehalemMachine(),
+		IntervalInstrs: *interval,
+		WarmupInstrs:   *interval,
+		Seed:           *seed,
+	}
+	if *pacesArg != "" {
+		for _, f := range strings.Split(*pacesArg, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 32)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad pace %q: %v\n", f, err)
+				os.Exit(2)
+			}
+			cfg.Paces = append(cfg.Paces, uint32(v))
+		}
+	}
+
+	curve, err := cachepirate.ProfileBandwidth(cfg, spec.New)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("%s — performance vs available off-chip bandwidth (max %s)",
+			name, report.GBs(curve.MaxGBs)),
+		"pace", "bandit BW", "available BW", "target CPI", "target BW", "bandit L3")
+	for _, p := range curve.Points {
+		t.Add(
+			strconv.FormatUint(uint64(p.Pace), 10),
+			report.GBs(p.BanditGBs),
+			report.GBs(p.AvailableGBs),
+			report.F(p.TargetCPI, 3),
+			report.GBs(p.TargetGBs),
+			report.MB(p.BanditCacheBytes),
+		)
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t.String())
+	}
+}

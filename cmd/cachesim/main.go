@@ -1,0 +1,135 @@
+// Command cachesim is the trace-driven reference simulator (§III-B):
+// it captures an address trace from a suite benchmark (or reads one
+// from a file), sweeps it over a range of L3 sizes, and prints the
+// reference fetch-ratio curve.
+//
+// Usage:
+//
+//	cachesim [-records N] [-skip N] [-policy nehalem|lru|plru|random]
+//	         [-mode ways|sets] [-seed N] [-save FILE] [-load FILE] [-csv] <benchmark>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cachepirate/internal/cache"
+	"cachepirate/internal/machine"
+	"cachepirate/internal/report"
+	"cachepirate/internal/simulate"
+	"cachepirate/internal/trace"
+	"cachepirate/internal/workload"
+)
+
+func main() {
+	records := flag.Int("records", 400_000, "trace length in memory accesses")
+	skip := flag.Int("skip", 0, "records to skip before capture (hot-code fast-forward)")
+	policy := flag.String("policy", "nehalem", "L3 replacement policy: nehalem, lru, plru, random")
+	mode := flag.String("mode", "ways", "how to shrink the cache: ways (constant sets) or sets")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	save := flag.String("save", "", "write the captured trace to this file")
+	load := flag.String("load", "", "replay a trace file instead of capturing")
+	csv := flag.Bool("csv", false, "emit CSV")
+	stack := flag.Bool("stack", false, "also print the analytical stack-distance model's curve")
+	flag.Parse()
+
+	var pol cache.PolicyKind
+	switch *policy {
+	case "nehalem":
+		pol = cache.Nehalem
+	case "lru":
+		pol = cache.LRU
+	case "plru":
+		pol = cache.PseudoLRU
+	case "random":
+		pol = cache.Random
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	var swMode simulate.SweepMode
+	switch *mode {
+	case "ways":
+		swMode = simulate.ByWays
+	case "sets":
+		swMode = simulate.BySets
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	var tr *trace.Trace
+	name := *load
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: cachesim [flags] <benchmark>  (or -load FILE)")
+			os.Exit(2)
+		}
+		name = flag.Arg(0)
+		spec, ok := workload.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+			os.Exit(2)
+		}
+		tr = simulate.CaptureTrace(spec.New, *seed, *skip, *records)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tr.Write(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "trace saved to %s (%d records)\n", *save, tr.Len())
+	}
+
+	mcfg := machine.WithL3Policy(machine.NehalemConfigNoPrefetch(), pol)
+	curve, err := simulate.Sweep(simulate.Config{Machine: mcfg, Mode: swMode}, tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	curve.Name = name
+	t := report.CurveTable(fmt.Sprintf("%s — reference sweep (%s policy, by %s)", name, *policy, *mode), curve)
+	if *csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t.String())
+	}
+
+	if *stack {
+		sizes := make([]int64, len(curve.Points))
+		for i, p := range curve.Points {
+			sizes[i] = p.CacheBytes
+		}
+		sc, err := simulate.StackModelCurve(tr, sizes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sc.Name = name + "/stack"
+		st := report.CurveTable(name+" — analytical stack-distance model (fully-associative LRU)", sc)
+		if *csv {
+			fmt.Print(st.CSV())
+		} else {
+			fmt.Print(st.String())
+		}
+	}
+}

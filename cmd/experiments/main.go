@@ -1,0 +1,69 @@
+// Command experiments regenerates the paper's tables and figures on
+// the simulated machine and prints them as text tables.
+//
+// Usage:
+//
+//	experiments [-quick] [-interval N] [-cycles N] [-trace N]
+//	            [-benchmarks a,b,c] [-seed N] [all|fig1|fig2|fig4|fig6|fig7|fig8|fig9|tab2|tab3|fn5 ...]
+//
+// With no experiment arguments it runs everything in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cachepirate/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink intervals, sizes and benchmark lists (seconds instead of minutes)")
+	interval := flag.Uint64("interval", 0, "measurement interval in target instructions (0 = default)")
+	cycles := flag.Int("cycles", 0, "measurement cycles to average (0 = default)")
+	traceRecs := flag.Int("trace", 0, "reference trace length in records (0 = default)")
+	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark override")
+	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-5s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+
+	opts := experiments.Options{
+		Quick:          *quick,
+		IntervalInstrs: *interval,
+		Cycles:         *cycles,
+		TraceRecords:   *traceRecs,
+		Seed:           *seed,
+	}
+	if *benchmarks != "" {
+		opts.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		ids = nil
+		for _, r := range experiments.All() {
+			ids = append(ids, r.ID)
+		}
+	}
+	for _, id := range ids {
+		r, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		res, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+	}
+}

@@ -1,0 +1,84 @@
+// Command scaling runs the paper's §I-A throughput-scaling analysis
+// for any suite benchmark: it captures the CPI/bandwidth curve with
+// Cache Pirating, predicts co-run scaling from equal cache shares plus
+// the off-chip bandwidth cap, and verifies the prediction against a
+// real co-run of 1..N instances on the simulated machine.
+//
+// Usage:
+//
+//	scaling [-instances N] [-interval N] [-seed N] <benchmark>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cachepirate"
+	"cachepirate/internal/experiments"
+	"cachepirate/internal/report"
+)
+
+func main() {
+	instances := flag.Int("instances", 4, "maximum co-running instances")
+	interval := flag.Uint64("interval", 150_000, "measurement interval in target instructions")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: scaling [flags] <benchmark>")
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	spec := func() cachepirate.WorkloadSpec {
+		for _, s := range cachepirate.Workloads() {
+			if s.Name == name {
+				return s
+			}
+		}
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+		os.Exit(2)
+		panic("unreachable")
+	}()
+
+	mcfg := cachepirate.NehalemMachine()
+	if *instances < 1 || *instances > mcfg.Cores {
+		fmt.Fprintf(os.Stderr, "instances must be 1..%d\n", mcfg.Cores)
+		os.Exit(2)
+	}
+
+	cfg := cachepirate.Config{Machine: mcfg, IntervalInstrs: *interval, Seed: *seed}
+	curve, rep, err := cachepirate.Profile(cfg, spec.New)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	curve.Name = name
+	fmt.Print(report.CurveTable(name+" — pirate-captured curve", curve).String())
+	fmt.Printf("pirate threads: %d\n\n", rep.ThreadsUsed)
+
+	maxBW := mcfg.DRAM.BytesPerCycle * mcfg.CPU.FreqHz / 1e9
+	thr, aggBW, err := experiments.ThroughputSeries(mcfg, spec.New, *seed, *instances,
+		10*(*interval), 2*(*interval))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	t := report.NewTable("throughput scaling (normalised to 1 instance)",
+		"instances", "measured", "ideal", "predicted", "required BW", "measured BW", "BW-limited")
+	for n := 1; n <= *instances; n++ {
+		p, err := cachepirate.PredictScaling(curve, n, mcfg.L3.Size, maxBW)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		lim := "no"
+		if p.BandwidthLimited {
+			lim = "yes"
+		}
+		t.Add(report.F(float64(n), 0), report.F(thr[n-1], 2), report.F(float64(n), 0),
+			report.F(p.PredictedThroughput, 2), report.GBs(p.RequiredBandwidthGBs),
+			report.GBs(aggBW[n-1]), lim)
+	}
+	fmt.Print(t.String())
+}

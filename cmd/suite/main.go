@@ -1,0 +1,96 @@
+// Command suite characterises the synthetic benchmark suite: for each
+// benchmark it runs a solo ground-truth sweep over reduced L3 sizes
+// (no Pirate — the machine's L3 is rescaled directly) and reports CPI,
+// fetch/miss ratios and bandwidth, plus the working-set knees the
+// stack-distance analysis finds. This is the calibration evidence
+// behind DESIGN.md's substitution table.
+//
+// Usage:
+//
+//	suite [-benchmarks a,b,c] [-instrs N] [-records N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cachepirate/internal/counters"
+	"cachepirate/internal/machine"
+	"cachepirate/internal/report"
+	"cachepirate/internal/simulate"
+	"cachepirate/internal/stackdist"
+	"cachepirate/internal/workload"
+)
+
+func main() {
+	benchmarks := flag.String("benchmarks", "", "comma-separated subset (default: whole suite)")
+	instrs := flag.Uint64("instrs", 500_000, "measured instructions per size (after a 4x warm-up)")
+	records := flag.Int("records", 800_000, "trace length for the stack-distance analysis (must cover the largest reuse window at least twice)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	var names []string
+	if *benchmarks != "" {
+		names = strings.Split(*benchmarks, ",")
+	} else {
+		names = workload.Names()
+	}
+
+	for _, name := range names {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+			os.Exit(2)
+		}
+		t := report.NewTable(
+			fmt.Sprintf("%s (%s) — solo ground truth\n  %s", spec.Name, spec.Paper, spec.Description),
+			"L3", "CPI", "fetch", "miss", "BW")
+		for _, ways := range []int{1, 2, 4, 8, 16} {
+			mcfg := machine.WithL3Ways(machine.NehalemConfig(), ways)
+			mcfg.Cores = 1
+			m, err := machine.New(mcfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := m.Attach(0, spec.New(*seed)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := m.RunInstructions(0, *instrs*4); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			pmu := counters.NewPMU(m)
+			pmu.MarkAll()
+			if err := m.RunInstructions(0, *instrs); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			s := pmu.ReadInterval(0)
+			t.Add(report.MB(mcfg.L3.Size), report.F(s.CPI(), 3),
+				report.Pct(s.FetchRatio(), 2), report.Pct(s.MissRatio(), 2),
+				report.GBs(s.BandwidthGBs(mcfg.CPU.FreqHz)))
+		}
+		fmt.Print(t.String())
+
+		tr := simulate.CaptureTrace(spec.New, *seed, 0, *records)
+		h, err := stackdist.Analyze(tr, (16<<20)/64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		knees := h.WorkingSetKnees(0.05)
+		var ks []string
+		for _, k := range knees {
+			ks = append(ks, report.MB(k))
+		}
+		if len(ks) == 0 {
+			ks = []string{"none above threshold"}
+		}
+		fmt.Printf("  stack-distance working-set knees: %s; cold ratio %s\n\n",
+			strings.Join(ks, ", "), report.Pct(h.ColdRatio(), 1))
+	}
+}

@@ -1,0 +1,44 @@
+package cachepirate_test
+
+import (
+	"fmt"
+
+	"cachepirate"
+	"cachepirate/internal/cache"
+)
+
+// ExampleProfile profiles a benchmark on a scaled-down machine and
+// inspects the curve. (The default Config profiles the paper's full
+// 8MB Nehalem; the small machine keeps the example fast.)
+func ExampleProfile() {
+	mcfg := cachepirate.NehalemMachine()
+	mcfg.L1 = cache.Config{Name: "L1", Size: 1 << 10, Ways: 2, LineSize: 64, Policy: cache.LRU}
+	mcfg.L2 = cache.Config{Name: "L2", Size: 4 << 10, Ways: 4, LineSize: 64, Policy: cache.LRU}
+	mcfg.L3 = cache.Config{Name: "L3", Size: 64 << 10, Ways: 16, LineSize: 64, Policy: cache.Nehalem}
+	mcfg.NewPrefetcher = nil
+
+	cfg := cachepirate.Config{
+		Machine:            mcfg,
+		Sizes:              []int64{16 << 10, 32 << 10, 48 << 10, 64 << 10},
+		IntervalInstrs:     20_000,
+		Cycles:             1,
+		TargetWarmupInstrs: 10_000,
+		Threads:            1,
+	}
+	curve, rep, err := cachepirate.Profile(cfg, cachepirate.Workload("microrand").New)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("points:", len(curve.Points))
+	fmt.Println("pirate threads:", rep.ThreadsUsed)
+	full := curve.Points[len(curve.Points)-1]
+	small := curve.Points[0]
+	fmt.Println("full-cache point trusted:", full.Trusted)
+	fmt.Println("less cache means more fetches:", small.FetchRatio > full.FetchRatio)
+	// Output:
+	// points: 4
+	// pirate threads: 1
+	// full-cache point trusted: true
+	// less cache means more fetches: true
+}

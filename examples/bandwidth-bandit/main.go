@@ -1,0 +1,52 @@
+// Bandwidth-bandit: the extension the paper's §VI proposes —
+// "extending this approach to collect performance data against other
+// shared resources".
+//
+// Where the Pirate maps performance against *cache capacity*, the
+// Bandit maps it against *off-chip bandwidth*: paced co-runner threads
+// stream far beyond the L3 so every one of their accesses costs DRAM
+// bandwidth, and the Target is measured at each pressure level. The
+// contrast between lbm (bandwidth-hungry) and povray (compute-bound)
+// shows the same who-is-sensitive-to-what analysis as the cache
+// curves, on the orthogonal resource axis.
+//
+//	go run ./examples/bandwidth-bandit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cachepirate"
+)
+
+func main() {
+	for _, bench := range []string{"lbm", "povray"} {
+		spec := cachepirate.Workload(bench)
+		cfg := cachepirate.BanditConfig{
+			Machine:        cachepirate.NehalemMachine(),
+			IntervalInstrs: 100_000,
+			WarmupInstrs:   100_000,
+			Paces:          []uint32{0, 32, 128, 512},
+		}
+		curve, err := cachepirate.ProfileBandwidth(cfg, spec.New)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("=== %s (%s), system max %.1f GB/s ===\n", bench, spec.Paper, curve.MaxGBs)
+		fmt.Printf("%-12s %-12s %-10s %-10s\n", "availableBW", "banditBW", "targetCPI", "targetBW")
+		base := curve.Points[len(curve.Points)-1].TargetCPI
+		for _, p := range curve.Points {
+			fmt.Printf("%-12.2f %-12.2f %-10.3f %-10.2f",
+				p.AvailableGBs, p.BanditGBs, p.TargetCPI, p.TargetGBs)
+			if p.TargetCPI > base*1.05 {
+				fmt.Printf("  <- %.0f%% slower", (p.TargetCPI/base-1)*100)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("lbm degrades as the bandit eats into the bandwidth it needs;")
+	fmt.Println("povray, which barely touches memory, does not care.")
+}

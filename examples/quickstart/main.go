@@ -1,0 +1,50 @@
+// Quickstart: profile one benchmark with Cache Pirating and print its
+// performance-vs-cache-size curve.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cachepirate"
+)
+
+func main() {
+	// Pick a Target from the synthetic suite. "sphinx3" is a
+	// latency-sensitive application: its CPI climbs steeply as its
+	// share of the cache shrinks.
+	spec := cachepirate.Workload("sphinx3")
+
+	// The zero-value Config measures 16 cache sizes (0.5MB steps) on
+	// the paper's 4-core Nehalem with an auto-detected pirate thread
+	// count. Smaller intervals make this quick demo finish in seconds.
+	cfg := cachepirate.Config{
+		IntervalInstrs: 100_000,
+		Cycles:         2,
+	}
+
+	curve, rep, err := cachepirate.Profile(cfg, spec.New)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s (%s)\n", spec.Name, spec.Paper)
+	fmt.Printf("pirate threads chosen by the safety test: %d\n\n", rep.ThreadsUsed)
+	fmt.Printf("%-8s %8s %10s %8s %8s  %s\n", "cache", "CPI", "BW(GB/s)", "fetch%", "miss%", "trusted")
+	for _, p := range curve.Points {
+		fmt.Printf("%-8.1f %8.3f %10.2f %8.2f %8.2f  %v\n",
+			float64(p.CacheBytes)/(1<<20), p.CPI, p.BandwidthGBs,
+			p.FetchRatio*100, p.MissRatio*100, p.Trusted)
+	}
+
+	// The curve is queryable at arbitrary sizes via interpolation —
+	// e.g. the CPI the application would run at with a 1/4 cache share.
+	quarter := cachepirate.NehalemMachine().L3.Size / 4
+	cpi, err := curve.CPIAt(quarter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninterpolated CPI at a 2MB share: %.3f\n", cpi)
+}

@@ -1,0 +1,75 @@
+// Simulator-validation: the paper's §III-B methodology in miniature.
+//
+// Captures an address trace from the sequential micro benchmark (the
+// Pin stand-in), sweeps it through two reference cache simulators —
+// one with true LRU, one with the Nehalem accessed-bit policy — and
+// compares both against the fetch-ratio curve the Pirate measures on
+// the "real" (simulated) machine. As in Fig. 4, the sequential scan
+// exposes the difference: LRU predicts total thrash below the working
+// set size while the accessed-bit policy (and the pirate measurement)
+// retain part of it.
+//
+//	go run ./examples/simulator-validation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cachepirate"
+	"cachepirate/internal/analysis"
+	"cachepirate/internal/cache"
+	"cachepirate/internal/machine"
+	"cachepirate/internal/simulate"
+)
+
+func main() {
+	spec := cachepirate.Workload("microseq")
+
+	// 1. Pirate measurement on the no-prefetch machine (as the paper
+	// does for reference comparisons).
+	cfg := cachepirate.Config{
+		Machine:        cachepirate.NehalemMachineNoPrefetch(),
+		IntervalInstrs: 100_000,
+		Cycles:         2,
+	}
+	pirate, _, err := cachepirate.Profile(cfg, spec.New)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Reference sweeps over the same trace with two policies.
+	tr := simulate.CaptureTrace(spec.New, 1, 0, 300_000)
+	refs := map[string]*cachepirate.Curve{}
+	for name, pol := range map[string]cache.PolicyKind{"lru": cache.LRU, "nehalem": cache.Nehalem} {
+		mcfg := machine.WithL3Policy(machine.NehalemConfigNoPrefetch(), pol)
+		c, err := simulate.Sweep(simulate.Config{Machine: mcfg}, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Offset-calibrate to the pirate's full-cache baseline.
+		base := pirate.Points[len(pirate.Points)-1].FetchRatio
+		refs[name] = simulate.Calibrate(c, base)
+	}
+
+	fmt.Println("fetch ratio (%) — pirate vs reference simulators, microseq (6MB scan)")
+	fmt.Printf("%-8s %8s %8s %10s %8s\n", "cache", "pirate", "ref-LRU", "ref-Nehalem", "trusted")
+	for _, p := range pirate.Points {
+		lru, _ := refs["lru"].FetchRatioAt(p.CacheBytes)
+		neh, _ := refs["nehalem"].FetchRatioAt(p.CacheBytes)
+		fmt.Printf("%-8.1f %8.2f %8.2f %10.2f %8v\n",
+			float64(p.CacheBytes)/(1<<20), p.FetchRatio*100, lru*100, neh*100, p.Trusted)
+	}
+
+	lruErr, err := analysis.FetchRatioErrors(pirate, refs["lru"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	nehErr, err := analysis.FetchRatioErrors(pirate, refs["nehalem"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmean abs error: vs LRU reference %.2f%%, vs Nehalem reference %.2f%%\n",
+		lruErr.AbsMean*100, nehErr.AbsMean*100)
+	fmt.Println("(the Nehalem-specific simulator should win, as in Fig. 4c)")
+}

@@ -1,0 +1,61 @@
+// Throughput-scaling: the paper's motivating example (§I-A).
+//
+// Profiles OMNeT++ and LBM with the Pirate, predicts how throughput
+// scales when 1-4 instances co-run (equal cache shares + the off-chip
+// bandwidth cap), and checks the prediction against a real co-run on
+// the simulated machine. OMNeT++ scales imperfectly because its CPI
+// rises with less cache; LBM's CPI is flat but it saturates the
+// 10.4 GB/s memory bus at four instances.
+//
+//	go run ./examples/throughput-scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cachepirate"
+	"cachepirate/internal/experiments"
+)
+
+func main() {
+	mcfg := cachepirate.NehalemMachine()
+	maxBW := mcfg.DRAM.BytesPerCycle * mcfg.CPU.FreqHz / 1e9
+	const interval = 100_000
+
+	for _, bench := range []string{"omnetpp", "lbm"} {
+		spec := cachepirate.Workload(bench)
+		fmt.Printf("=== %s (%s) ===\n", spec.Name, spec.Paper)
+
+		cfg := cachepirate.Config{Machine: mcfg, IntervalInstrs: interval, Cycles: 2}
+		curve, _, err := cachepirate.Profile(cfg, spec.New)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		thr, aggBW, err := experiments.ThroughputSeries(mcfg, spec.New, 1, mcfg.Cores,
+			10*interval, 2*interval)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-10s %9s %9s %11s %11s %s\n",
+			"instances", "measured", "predicted", "requiredBW", "measuredBW", "limited-by")
+		for n := 1; n <= mcfg.Cores; n++ {
+			p, err := cachepirate.PredictScaling(curve, n, mcfg.L3.Size, maxBW)
+			if err != nil {
+				log.Fatal(err)
+			}
+			why := "cache sharing"
+			if p.BandwidthLimited {
+				why = "off-chip bandwidth"
+			}
+			if p.PredictedThroughput > float64(n)-0.05 {
+				why = "-"
+			}
+			fmt.Printf("%-10d %9.2f %9.2f %11.2f %11.2f %s\n",
+				n, thr[n-1], p.PredictedThroughput, p.RequiredBandwidthGBs, aggBW[n-1], why)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module cachepirate
+
+go 1.22

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErrorSummary quantifies the agreement between a pirate-measured
+// curve and a reference (simulated) curve, as in Fig. 7: absolute
+// errors are |measured - reference| in percentage points of the
+// metric; relative errors divide by the reference value (and blow up
+// for near-zero references — the paper's 453.povray caveat).
+type ErrorSummary struct {
+	Name        string
+	Points      int
+	AbsMean     float64
+	AbsMax      float64
+	RelMean     float64
+	RelMax      float64
+	SkippedZero int // reference points too close to zero for a relative error
+}
+
+// FetchRatioErrors compares the fetch-ratio metric of two curves over
+// the cache sizes where the measured curve is trusted (Pirate fetch
+// ratio under threshold). The reference is interpolated at each
+// measured size.
+func FetchRatioErrors(measured, reference *Curve) (ErrorSummary, error) {
+	return MetricErrors(measured, reference, FetchRatioOf)
+}
+
+// CPIErrors compares the CPI metric of two curves.
+func CPIErrors(measured, reference *Curve) (ErrorSummary, error) {
+	return MetricErrors(measured, reference, CPIOf)
+}
+
+// MetricErrors compares an arbitrary metric of two curves over the
+// measured curve's trusted points.
+func MetricErrors(measured, reference *Curve, m metric) (ErrorSummary, error) {
+	const zeroEps = 1e-9
+	sum := ErrorSummary{Name: measured.Name}
+	trusted := measured.Trusted()
+	if len(trusted) == 0 {
+		return sum, fmt.Errorf("analysis: no trusted points on curve %q", measured.Name)
+	}
+	var absSum, relSum float64
+	var relPoints int
+	for _, p := range trusted {
+		ref, err := reference.At(p.CacheBytes, m)
+		if err != nil {
+			return sum, err
+		}
+		abs := math.Abs(m(p) - ref)
+		absSum += abs
+		if abs > sum.AbsMax {
+			sum.AbsMax = abs
+		}
+		if math.Abs(ref) < zeroEps {
+			sum.SkippedZero++
+		} else {
+			rel := abs / math.Abs(ref)
+			relSum += rel
+			relPoints++
+			if rel > sum.RelMax {
+				sum.RelMax = rel
+			}
+		}
+		sum.Points++
+	}
+	sum.AbsMean = absSum / float64(sum.Points)
+	if relPoints > 0 {
+		sum.RelMean = relSum / float64(relPoints)
+	}
+	return sum, nil
+}
+
+// Aggregate folds several per-benchmark summaries into suite-wide
+// average/maximum figures (the "average and maximum absolute fetch
+// ratio errors were 0.2% and 2.7%" headline numbers).
+func Aggregate(sums []ErrorSummary) ErrorSummary {
+	out := ErrorSummary{Name: "all"}
+	if len(sums) == 0 {
+		return out
+	}
+	for _, s := range sums {
+		out.Points += s.Points
+		out.AbsMean += s.AbsMean
+		out.RelMean += s.RelMean
+		out.SkippedZero += s.SkippedZero
+		if s.AbsMax > out.AbsMax {
+			out.AbsMax = s.AbsMax
+		}
+		if s.RelMax > out.RelMax {
+			out.RelMax = s.RelMax
+		}
+	}
+	out.AbsMean /= float64(len(sums))
+	out.RelMean /= float64(len(sums))
+	return out
+}

@@ -1,0 +1,30 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serialises the curve as indented JSON — the machine-
+// readable output of the cmd/ tools, for downstream plotting.
+func (c *Curve) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// ReadCurveJSON parses a curve written by WriteJSON and re-sorts it.
+func ReadCurveJSON(r io.Reader) (*Curve, error) {
+	var c Curve
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("analysis: decoding curve: %w", err)
+	}
+	for _, p := range c.Points {
+		if p.CacheBytes <= 0 {
+			return nil, fmt.Errorf("analysis: curve %q has non-positive cache size %d", c.Name, p.CacheBytes)
+		}
+	}
+	c.Sort()
+	return &c, nil
+}

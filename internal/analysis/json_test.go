@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCurveJSONRoundTrip(t *testing.T) {
+	c := mkCurve()
+	c.Name = "round-trip"
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCurveJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != c.Name || len(got.Points) != len(c.Points) {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	for i := range c.Points {
+		if got.Points[i] != c.Points[i] {
+			t.Errorf("point %d: %+v != %+v", i, got.Points[i], c.Points[i])
+		}
+	}
+}
+
+func TestReadCurveJSONSorts(t *testing.T) {
+	in := `{"Name":"x","Points":[
+		{"CacheBytes":2097152,"CPI":1.5,"Trusted":true},
+		{"CacheBytes":1048576,"CPI":2.0,"Trusted":true}]}`
+	c, err := ReadCurveJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Points[0].CacheBytes != 1<<20 {
+		t.Error("decoded curve not sorted")
+	}
+}
+
+func TestReadCurveJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadCurveJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadCurveJSON(strings.NewReader(`{"Name":"x","Points":[{"CacheBytes":0}]}`)); err == nil {
+		t.Error("zero cache size accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import "fmt"
+
+// ScalingPrediction is the §I-A model's output for one instance count.
+type ScalingPrediction struct {
+	Instances int
+	// CachePerInstance is the equal share of the L3 each instance gets.
+	CachePerInstance int64
+	// PredictedThroughput is the aggregate throughput relative to one
+	// instance with the full cache (ideal scaling would equal
+	// Instances).
+	PredictedThroughput float64
+	// RequiredBandwidthGBs is the aggregate off-chip bandwidth the
+	// instances need to run at their cache-share CPI.
+	RequiredBandwidthGBs float64
+	// BandwidthLimited is true when the required bandwidth exceeds the
+	// system maximum and throughput was scaled down by the
+	// achievable/required ratio (LBM's 87% effect).
+	BandwidthLimited bool
+}
+
+// PredictScaling applies the paper's motivating-example model: when n
+// identical instances co-run, each receives l3Bytes/n of shared cache
+// and runs at the CPI the curve reports for that size; if their
+// aggregate bandwidth demand exceeds maxBWGBs, execution is throttled
+// by the ratio of achievable to required bandwidth.
+//
+// The returned throughput is normalised so one instance with the full
+// cache is 1.0.
+func PredictScaling(cpiBW *Curve, n int, l3Bytes int64, maxBWGBs float64) (ScalingPrediction, error) {
+	if n <= 0 {
+		return ScalingPrediction{}, fmt.Errorf("analysis: instances must be positive, got %d", n)
+	}
+	if l3Bytes <= 0 {
+		return ScalingPrediction{}, fmt.Errorf("analysis: non-positive L3 size %d", l3Bytes)
+	}
+	share := l3Bytes / int64(n)
+	cpiFull, err := cpiBW.CPIAt(l3Bytes)
+	if err != nil {
+		return ScalingPrediction{}, err
+	}
+	cpiShare, err := cpiBW.CPIAt(share)
+	if err != nil {
+		return ScalingPrediction{}, err
+	}
+	bwShare, err := cpiBW.BandwidthAt(share)
+	if err != nil {
+		return ScalingPrediction{}, err
+	}
+	if cpiShare <= 0 || cpiFull <= 0 {
+		return ScalingPrediction{}, fmt.Errorf("analysis: non-positive CPI on curve %q", cpiBW.Name)
+	}
+	// An instance cannot speed up with less cache: clamp the per-
+	// instance ratio at 1 so measurement noise on a flat curve never
+	// predicts super-linear scaling.
+	perInstance := cpiFull / cpiShare
+	if perInstance > 1 {
+		perInstance = 1
+	}
+	p := ScalingPrediction{
+		Instances:            n,
+		CachePerInstance:     share,
+		PredictedThroughput:  float64(n) * perInstance,
+		RequiredBandwidthGBs: float64(n) * bwShare,
+	}
+	if maxBWGBs > 0 && p.RequiredBandwidthGBs > maxBWGBs {
+		p.BandwidthLimited = true
+		p.PredictedThroughput *= maxBWGBs / p.RequiredBandwidthGBs
+	}
+	return p, nil
+}
+
+// PredictScalingSeries runs PredictScaling for 1..maxInstances.
+func PredictScalingSeries(cpiBW *Curve, maxInstances int, l3Bytes int64, maxBWGBs float64) ([]ScalingPrediction, error) {
+	var out []ScalingPrediction
+	for n := 1; n <= maxInstances; n++ {
+		p, err := PredictScaling(cpiBW, n, l3Bytes, maxBWGBs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,467 @@
+// Package cache implements set-associative cache models with pluggable
+// replacement policies (true LRU, tree pseudo-LRU, the Nehalem
+// accessed-bit policy described in §II-B2 of the Cache Pirating paper,
+// and deterministic random), plus a three-level Nehalem-style hierarchy
+// with an inclusive shared L3.
+//
+// The package models cache *state* only; timing (latencies, bandwidth
+// queueing) belongs to internal/cpu and internal/mem. All state changes
+// are deterministic, so simulations are bit-reproducible.
+package cache
+
+import "fmt"
+
+// Owner identifies which hardware context (core) performed an access.
+// Per-owner statistics let the measurement harness read Target and
+// Pirate event counts separately, mirroring per-core performance
+// counters (OFFCORE_RSP_0 on the paper's machine).
+type Owner int
+
+// Addr is a byte address in the simulated physical address space.
+type Addr uint64
+
+// PolicyKind selects a replacement policy for a Cache.
+type PolicyKind int
+
+// Replacement policies supported by the model.
+const (
+	// LRU is true least-recently-used replacement.
+	LRU PolicyKind = iota
+	// PseudoLRU is tree-based pseudo-LRU (requires power-of-two ways).
+	PseudoLRU
+	// Nehalem is the accessed-bit approximation of LRU used by the
+	// Nehalem L3 (paper §II-B2): each line has an accessed bit; an
+	// access sets it, and when the last unset bit would be set all
+	// other bits clear; the victim is the first way with an unset bit.
+	Nehalem
+	// Random picks victims with a deterministic xorshift generator.
+	Random
+)
+
+// String returns the policy name.
+func (p PolicyKind) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case PseudoLRU:
+		return "plru"
+	case Nehalem:
+		return "nehalem"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name     string     // for diagnostics, e.g. "L3"
+	Size     int64      // total capacity in bytes
+	Ways     int        // associativity
+	LineSize int64      // line size in bytes (power of two)
+	Policy   PolicyKind // replacement policy
+	Owners   int        // number of distinct owners to keep stats for
+}
+
+// Validate checks that the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.Size <= 0 || c.Ways <= 0 || c.LineSize <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry (size=%d ways=%d line=%d)",
+			c.Name, c.Size, c.Ways, c.LineSize)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineSize)
+	}
+	if c.Size%(c.LineSize*int64(c.Ways)) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by ways*line (%d*%d)",
+			c.Name, c.Size, c.Ways, c.LineSize)
+	}
+	if c.Policy == PseudoLRU && c.Ways&(c.Ways-1) != 0 {
+		return fmt.Errorf("cache %s: pseudo-LRU needs power-of-two ways, got %d", c.Name, c.Ways)
+	}
+	if c.Owners <= 0 {
+		return fmt.Errorf("cache %s: owners must be positive, got %d", c.Name, c.Owners)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int64 { return c.Size / (c.LineSize * int64(c.Ways)) }
+
+// line is one cache line's bookkeeping.
+type line struct {
+	tag      uint64 // full line address (addr / lineSize); unique per line
+	valid    bool
+	dirty    bool
+	prefetch bool  // filled by a prefetcher and not yet demand-touched
+	owner    Owner // context that filled the line
+}
+
+// set is one associative set: lines plus policy metadata.
+type set struct {
+	lines []line
+	// stamp holds per-way LRU timestamps (LRU policy) or accessed bits
+	// (Nehalem policy, 0/1).
+	stamp []uint64
+	tree  uint64 // pseudo-LRU tree bits
+}
+
+// Evicted describes a line pushed out of a cache.
+type Evicted struct {
+	Valid    bool
+	LineAddr Addr // address of the first byte of the line
+	Dirty    bool
+	Owner    Owner
+	Prefetch bool
+}
+
+// Result reports the outcome of an Access or Fill.
+type Result struct {
+	Hit         bool
+	WasPrefetch bool // hit on a line that a prefetcher brought in
+	Evicted     Evicted
+}
+
+// Cache is a single set-associative cache level.
+type Cache struct {
+	cfg      Config
+	sets     []set
+	nsets    uint64
+	shift    uint   // log2(lineSize)
+	clock    uint64 // monotone access counter for LRU stamps
+	rngState uint64 // for Random policy
+	stats    []OwnerStats
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nsets := cfg.Sets()
+	c := &Cache{
+		cfg:      cfg,
+		sets:     make([]set, nsets),
+		nsets:    uint64(nsets),
+		shift:    log2(uint64(cfg.LineSize)),
+		rngState: 0x853C49E6748FEA9B,
+		stats:    make([]OwnerStats, cfg.Owners),
+	}
+	for i := range c.sets {
+		c.sets[i].lines = make([]line, cfg.Ways)
+		c.sets[i].stamp = make([]uint64, cfg.Ways)
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on configuration errors; for tests and
+// fixed built-in configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func log2(x uint64) uint {
+	var n uint
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+func (c *Cache) index(a Addr) (setIdx uint64, tag uint64) {
+	lineAddr := uint64(a) >> c.shift
+	return lineAddr % c.nsets, lineAddr
+}
+
+func (c *Cache) lineAddr(tag uint64) Addr { return Addr(tag << c.shift) }
+
+// Access performs a demand access (read or write) by owner. On a hit the
+// replacement state is updated and Result.Hit is true. On a miss the line
+// is NOT filled: the caller decides whether and when to Fill (the
+// hierarchy uses this to model fill paths and inclusivity).
+func (c *Cache) Access(a Addr, write bool, owner Owner) Result {
+	si, tag := c.index(a)
+	s := &c.sets[si]
+	st := &c.stats[owner]
+	st.Accesses++
+	if write {
+		st.Writes++
+	}
+	for w := range s.lines {
+		ln := &s.lines[w]
+		if ln.valid && ln.tag == tag {
+			st.Hits++
+			wasPref := ln.prefetch
+			if wasPref {
+				ln.prefetch = false
+				st.PrefetchHits++
+			}
+			if write {
+				ln.dirty = true
+			}
+			c.touch(s, w)
+			return Result{Hit: true, WasPrefetch: wasPref}
+		}
+	}
+	st.Misses++
+	return Result{}
+}
+
+// Probe reports whether the line holding a is resident, without
+// disturbing replacement state or statistics.
+func (c *Cache) Probe(a Addr) bool {
+	si, tag := c.index(a)
+	s := &c.sets[si]
+	for w := range s.lines {
+		if s.lines[w].valid && s.lines[w].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts the line holding a on behalf of owner, evicting a victim
+// if the set is full. prefetch marks the line as prefetcher-filled (it
+// counts as a fetch but not a demand miss). dirty pre-dirties the line
+// (write-allocate fill of a store). Filling an already-resident line just
+// refreshes replacement state.
+func (c *Cache) Fill(a Addr, owner Owner, prefetch, dirty bool) Result {
+	si, tag := c.index(a)
+	s := &c.sets[si]
+	st := &c.stats[owner]
+
+	// Already resident (e.g. a racing prefetch): refresh and return.
+	for w := range s.lines {
+		ln := &s.lines[w]
+		if ln.valid && ln.tag == tag {
+			if dirty {
+				ln.dirty = true
+			}
+			if !prefetch {
+				ln.prefetch = false
+				c.touch(s, w)
+			}
+			return Result{Hit: true}
+		}
+	}
+
+	st.Fills++
+	if prefetch {
+		st.PrefetchFills++
+	}
+
+	// Prefer an invalid way.
+	victim := -1
+	for w := range s.lines {
+		if !s.lines[w].valid {
+			victim = w
+			break
+		}
+	}
+	var res Result
+	if victim < 0 {
+		victim = c.victim(s)
+		v := &s.lines[victim]
+		res.Evicted = Evicted{
+			Valid:    true,
+			LineAddr: c.lineAddr(v.tag),
+			Dirty:    v.dirty,
+			Owner:    v.owner,
+			Prefetch: v.prefetch,
+		}
+		c.stats[v.owner].Evictions++
+		if v.dirty {
+			c.stats[v.owner].Writebacks++
+		}
+	}
+	s.lines[victim] = line{tag: tag, valid: true, dirty: dirty, prefetch: prefetch, owner: owner}
+	c.fillTouch(s, victim)
+	return res
+}
+
+// MarkDirty sets the dirty bit of the line holding a if resident,
+// without touching replacement state or statistics. It models a
+// writeback arriving from an upper level. It reports whether the line
+// was found.
+func (c *Cache) MarkDirty(a Addr) bool {
+	si, tag := c.index(a)
+	s := &c.sets[si]
+	for w := range s.lines {
+		if s.lines[w].valid && s.lines[w].tag == tag {
+			s.lines[w].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes the line holding a if resident, returning its
+// eviction record (used for back-invalidation in inclusive hierarchies).
+func (c *Cache) Invalidate(a Addr) (Evicted, bool) {
+	si, tag := c.index(a)
+	s := &c.sets[si]
+	for w := range s.lines {
+		ln := &s.lines[w]
+		if ln.valid && ln.tag == tag {
+			ev := Evicted{Valid: true, LineAddr: c.lineAddr(ln.tag), Dirty: ln.dirty, Owner: ln.owner, Prefetch: ln.prefetch}
+			*ln = line{}
+			s.stamp[w] = 0
+			return ev, true
+		}
+	}
+	return Evicted{}, false
+}
+
+// Flush invalidates every line, resetting contents but not statistics.
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		s := &c.sets[i]
+		for w := range s.lines {
+			s.lines[w] = line{}
+			s.stamp[w] = 0
+		}
+		s.tree = 0
+	}
+}
+
+// ResidentLines returns how many valid lines owner currently holds.
+// It is O(cache size); intended for assertions and occupancy sampling,
+// not hot paths.
+func (c *Cache) ResidentLines(owner Owner) int {
+	n := 0
+	for i := range c.sets {
+		for w := range c.sets[i].lines {
+			ln := &c.sets[i].lines[w]
+			if ln.valid && ln.owner == owner {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ResidentBytes returns how many bytes owner currently holds.
+func (c *Cache) ResidentBytes(owner Owner) int64 {
+	return int64(c.ResidentLines(owner)) * c.cfg.LineSize
+}
+
+// touch updates replacement metadata for a demand hit on way w.
+func (c *Cache) touch(s *set, w int) {
+	switch c.cfg.Policy {
+	case LRU:
+		c.clock++
+		s.stamp[w] = c.clock
+	case PseudoLRU:
+		c.plruTouch(s, w)
+	case Nehalem:
+		c.nehalemTouch(s, w)
+	case Random:
+		// stateless
+	}
+}
+
+// fillTouch updates replacement metadata when way w is (re)filled.
+func (c *Cache) fillTouch(s *set, w int) { c.touch(s, w) }
+
+// victim selects a way to evict from a full set.
+func (c *Cache) victim(s *set) int {
+	switch c.cfg.Policy {
+	case LRU:
+		best, bestStamp := 0, s.stamp[0]
+		for w := 1; w < len(s.lines); w++ {
+			if s.stamp[w] < bestStamp {
+				best, bestStamp = w, s.stamp[w]
+			}
+		}
+		return best
+	case PseudoLRU:
+		return c.plruVictim(s)
+	case Nehalem:
+		return c.nehalemVictim(s)
+	case Random:
+		x := c.rngState
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		c.rngState = x
+		return int((x * 0x2545F4914F6CDD1D) % uint64(len(s.lines)))
+	}
+	return 0
+}
+
+// --- Nehalem accessed-bit policy (paper §II-B2) ---
+
+func (c *Cache) nehalemTouch(s *set, w int) {
+	s.stamp[w] = 1
+	// If every accessed bit is now set, clear all except the one just
+	// touched ("when this last cache-line is accessed its access bit is
+	// set and all other accessed bits are cleared").
+	for i := range s.stamp {
+		if s.lines[i].valid || i == w {
+			if s.stamp[i] == 0 {
+				return // at least one unset bit remains
+			}
+		}
+	}
+	for i := range s.stamp {
+		if i != w {
+			s.stamp[i] = 0
+		}
+	}
+}
+
+func (c *Cache) nehalemVictim(s *set) int {
+	for w := range s.stamp {
+		if s.stamp[w] == 0 {
+			return w
+		}
+	}
+	// All bits set can only happen transiently for 1-way caches.
+	return 0
+}
+
+// --- Tree pseudo-LRU ---
+
+// The tree is stored as bits of s.tree, node 1 is the root, node i has
+// children 2i and 2i+1; a 0 bit means "left subtree is older".
+
+func (c *Cache) plruTouch(s *set, w int) {
+	n := len(s.lines)
+	node := 1
+	lo, hi := 0, n
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if w < mid {
+			// Accessed left: point the bit right (away from w).
+			s.tree |= 1 << uint(node)
+			node, hi = 2*node, mid
+		} else {
+			s.tree &^= 1 << uint(node)
+			node, lo = 2*node+1, mid
+		}
+	}
+}
+
+func (c *Cache) plruVictim(s *set) int {
+	n := len(s.lines)
+	node := 1
+	lo, hi := 0, n
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s.tree&(1<<uint(node)) == 0 {
+			// Bit points left: the left subtree is older.
+			node, hi = 2*node, mid
+		} else {
+			node, lo = 2*node+1, mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,382 @@
+package cache
+
+import (
+	"fmt"
+
+	"cachepirate/internal/prefetch"
+)
+
+// Level identifies which level of the hierarchy served a demand access.
+type Level int
+
+// Hierarchy levels, in increasing distance from the core.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelL3
+	LevelMem
+)
+
+// String returns the level name.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelMem:
+		return "mem"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// HierarchyConfig describes a multicore cache hierarchy: per-core
+// private L1/L2 and one shared L3.
+type HierarchyConfig struct {
+	Cores int
+	L1    Config // per-core template; Owners is overridden to 1
+	L2    Config // per-core template; Owners is overridden to 1
+	L3    Config // shared; Owners is overridden to Cores
+	// NewPrefetcher builds the per-core L3 prefetcher. Nil disables
+	// prefetching (fetches == misses).
+	NewPrefetcher func() prefetch.Prefetcher
+}
+
+// Validate checks the configuration.
+func (hc HierarchyConfig) Validate() error {
+	if hc.Cores <= 0 {
+		return fmt.Errorf("hierarchy: cores must be positive, got %d", hc.Cores)
+	}
+	for _, c := range []Config{hc.L1, hc.L2, hc.L3} {
+		cc := c
+		cc.Owners = 1
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	if hc.L1.LineSize != hc.L2.LineSize || hc.L2.LineSize != hc.L3.LineSize {
+		return fmt.Errorf("hierarchy: mismatched line sizes (%d/%d/%d)",
+			hc.L1.LineSize, hc.L2.LineSize, hc.L3.LineSize)
+	}
+	return nil
+}
+
+// Outcome describes one demand access's path through the hierarchy,
+// with enough information for the timing model to charge latencies and
+// bandwidth.
+type Outcome struct {
+	ServedBy Level
+	// PrefetchHit is true when the access was served by an L3 line a
+	// prefetcher brought in (latency largely hidden).
+	PrefetchHit bool
+	// MemReadBytes counts bytes read from DRAM for this access: the
+	// demand line on an L3 miss plus any prefetched lines issued as a
+	// side effect.
+	MemReadBytes int64
+	// MemWriteBytes counts DRAM writeback bytes triggered by this
+	// access (dirty L3 evictions and dirty back-invalidated lines).
+	MemWriteBytes int64
+	// L3Accesses counts L3 port uses (demand lookup + prefetch fills),
+	// for the shared L3 bandwidth model.
+	L3Accesses int
+	// Prefetches counts lines the prefetcher fetched from memory as a
+	// side effect of this access.
+	Prefetches int
+}
+
+// Hierarchy is a Cores-way multicore cache hierarchy with private
+// L1/L2, a shared inclusive L3, write-allocate/write-back at every
+// level, and per-core prefetchers observing the L3 demand stream.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	l1  []*Cache
+	l2  []*Cache
+	l3  *Cache
+	pf  []prefetch.Prefetcher
+
+	lineSize int64
+	// fullBackInval makes L3 evictions back-invalidate every core's
+	// private copies instead of only the filler's. Required once
+	// shared address spaces exist (several cores may cache one line);
+	// off by default to keep the common single-owner path cheap.
+	fullBackInval bool
+}
+
+// NewHierarchy builds a hierarchy from cfg.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{cfg: cfg, lineSize: cfg.L3.LineSize}
+	for i := 0; i < cfg.Cores; i++ {
+		l1cfg := cfg.L1
+		l1cfg.Owners = 1
+		l1cfg.Name = fmt.Sprintf("L1.%d", i)
+		l2cfg := cfg.L2
+		l2cfg.Owners = 1
+		l2cfg.Name = fmt.Sprintf("L2.%d", i)
+		l1, err := New(l1cfg)
+		if err != nil {
+			return nil, err
+		}
+		l2, err := New(l2cfg)
+		if err != nil {
+			return nil, err
+		}
+		h.l1 = append(h.l1, l1)
+		h.l2 = append(h.l2, l2)
+		if cfg.NewPrefetcher != nil {
+			h.pf = append(h.pf, cfg.NewPrefetcher())
+		} else {
+			h.pf = append(h.pf, prefetch.None{})
+		}
+	}
+	l3cfg := cfg.L3
+	l3cfg.Owners = cfg.Cores
+	l3cfg.Name = "L3"
+	l3, err := New(l3cfg)
+	if err != nil {
+		return nil, err
+	}
+	h.l3 = l3
+	return h, nil
+}
+
+// MustNewHierarchy is NewHierarchy but panics on error.
+func MustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// L3 exposes the shared last-level cache (for occupancy checks and
+// counter reads).
+func (h *Hierarchy) L3() *Cache { return h.l3 }
+
+// L1 returns core's private L1.
+func (h *Hierarchy) L1(core int) *Cache { return h.l1[core] }
+
+// L2 returns core's private L2.
+func (h *Hierarchy) L2(core int) *Cache { return h.l2[core] }
+
+// Prefetcher returns core's L3 prefetcher.
+func (h *Hierarchy) Prefetcher(core int) prefetch.Prefetcher { return h.pf[core] }
+
+// LineSize returns the hierarchy line size in bytes.
+func (h *Hierarchy) LineSize() int64 { return h.lineSize }
+
+// Access performs one demand access by core and returns its outcome.
+func (h *Hierarchy) Access(core int, addr Addr, write bool) Outcome {
+	var out Outcome
+	owner := Owner(core)
+	l1, l2 := h.l1[core], h.l2[core]
+
+	if r := l1.Access(addr, write, 0); r.Hit {
+		out.ServedBy = LevelL1
+		return out
+	}
+
+	if r := l2.Access(addr, write, 0); r.Hit {
+		out.ServedBy = LevelL2
+		h.fillL1(core, addr, write, &out)
+		return out
+	}
+
+	// The access reaches the shared L3: one port use, and the per-core
+	// prefetcher observes the demand line stream here.
+	out.L3Accesses++
+	r3 := h.l3.Access(addr, write, owner)
+	if r3.Hit {
+		out.ServedBy = LevelL3
+		out.PrefetchHit = r3.WasPrefetch
+	} else {
+		out.ServedBy = LevelMem
+		out.MemReadBytes += h.lineSize
+		h.fillL3(core, addr, false, &out)
+	}
+	h.trainPrefetcher(core, addr, !r3.Hit, &out)
+
+	// Fill the private levels.
+	h.fillL2(core, addr, &out)
+	h.fillL1(core, addr, write, &out)
+	return out
+}
+
+// InvalidateRemoteCopies removes the line holding addr from every
+// private cache except core's — the write-invalidate step of the
+// coherence protocol for shared-memory contexts. Dirty remote copies
+// write back into the (inclusive) L3, or to memory if the L3 has
+// already dropped the line. It returns how many remote copies were
+// invalidated and the memory writeback bytes incurred.
+func (h *Hierarchy) InvalidateRemoteCopies(core int, addr Addr) (invalidated int, memWriteBytes int64) {
+	for c := 0; c < h.cfg.Cores; c++ {
+		if c == core {
+			continue
+		}
+		dirty := false
+		found := false
+		if e, ok := h.l1[c].Invalidate(addr); ok {
+			found = true
+			dirty = dirty || e.Dirty
+		}
+		if e, ok := h.l2[c].Invalidate(addr); ok {
+			found = true
+			dirty = dirty || e.Dirty
+		}
+		if found {
+			invalidated++
+			if dirty {
+				if !h.l3.MarkDirty(addr) {
+					memWriteBytes += h.lineSize
+				}
+			}
+		}
+	}
+	return invalidated, memWriteBytes
+}
+
+// AccessNonTemporal performs a non-temporal (streaming) read: it hits
+// resident lines normally, but on a miss the data moves straight to
+// the core — no level is filled, no prefetcher trains. The access
+// still costs DRAM bandwidth, which is exactly the profile the
+// Bandwidth Bandit needs.
+func (h *Hierarchy) AccessNonTemporal(core int, addr Addr) Outcome {
+	var out Outcome
+	if r := h.l1[core].Access(addr, false, 0); r.Hit {
+		out.ServedBy = LevelL1
+		return out
+	}
+	if r := h.l2[core].Access(addr, false, 0); r.Hit {
+		out.ServedBy = LevelL2
+		return out
+	}
+	out.L3Accesses++
+	if r := h.l3.Access(addr, false, Owner(core)); r.Hit {
+		out.ServedBy = LevelL3
+		out.PrefetchHit = r.WasPrefetch
+		return out
+	}
+	out.ServedBy = LevelMem
+	out.MemReadBytes += h.lineSize
+	return out
+}
+
+// trainPrefetcher feeds the demand access into core's prefetcher and
+// performs any proposed prefetch fills into L3.
+func (h *Hierarchy) trainPrefetcher(core int, addr Addr, miss bool, out *Outcome) {
+	lineAddr := uint64(addr) / uint64(h.lineSize)
+	for _, pl := range h.pf[core].Observe(lineAddr, miss) {
+		pa := Addr(pl * uint64(h.lineSize))
+		if h.l3.Probe(pa) {
+			continue
+		}
+		out.L3Accesses++
+		out.MemReadBytes += h.lineSize
+		out.Prefetches++
+		h.fillL3(core, pa, true, out)
+	}
+}
+
+// fillL3 installs a line into the inclusive L3, back-invalidating the
+// evicted victim from its owner's private levels.
+func (h *Hierarchy) fillL3(core int, addr Addr, isPrefetch bool, out *Outcome) {
+	// Write-allocate: the demanded line is dirtied in L1 by the store;
+	// the L3 copy stays clean until a writeback reaches it.
+	r := h.l3.Fill(addr, Owner(core), isPrefetch, false)
+	if !r.Evicted.Valid {
+		return
+	}
+	// Inclusive L3: evicting a line removes it from the private caches
+	// too. Dirty private copies must reach memory. Without shared
+	// address spaces only the filling owner can hold a copy; with them
+	// every core must be probed.
+	ev := r.Evicted
+	dirty := ev.Dirty
+	if h.fullBackInval {
+		for c := 0; c < h.cfg.Cores; c++ {
+			if e, ok := h.l1[c].Invalidate(ev.LineAddr); ok && e.Dirty {
+				dirty = true
+			}
+			if e, ok := h.l2[c].Invalidate(ev.LineAddr); ok && e.Dirty {
+				dirty = true
+			}
+		}
+	} else {
+		vc := int(ev.Owner)
+		if e, ok := h.l1[vc].Invalidate(ev.LineAddr); ok && e.Dirty {
+			dirty = true
+		}
+		if e, ok := h.l2[vc].Invalidate(ev.LineAddr); ok && e.Dirty {
+			dirty = true
+		}
+	}
+	if dirty {
+		out.MemWriteBytes += h.lineSize
+	}
+}
+
+// SetFullBackInvalidate switches L3 evictions to probe every core's
+// private caches (needed once any shared address space is attached).
+func (h *Hierarchy) SetFullBackInvalidate(on bool) { h.fullBackInval = on }
+
+// fillL2 installs a line into core's L2, handling the victim's
+// writeback into the (inclusive) L3.
+func (h *Hierarchy) fillL2(core int, addr Addr, out *Outcome) {
+	r := h.l2[core].Fill(addr, 0, false, false)
+	if r.Evicted.Valid && r.Evicted.Dirty {
+		// Inclusive L3 normally still holds the line; if it was
+		// concurrently evicted the data must go straight to memory.
+		if !h.l3.MarkDirty(r.Evicted.LineAddr) {
+			out.MemWriteBytes += h.lineSize
+		}
+	}
+}
+
+// fillL1 installs a line into core's L1, handling the victim's
+// writeback into L2 (or L3 if L2 no longer has it).
+func (h *Hierarchy) fillL1(core int, addr Addr, write bool, out *Outcome) {
+	r := h.l1[core].Fill(addr, 0, false, write)
+	if r.Evicted.Valid && r.Evicted.Dirty {
+		if !h.l2[core].MarkDirty(r.Evicted.LineAddr) {
+			if !h.l3.MarkDirty(r.Evicted.LineAddr) {
+				out.MemWriteBytes += h.lineSize
+			}
+		}
+	}
+}
+
+// FlushCore empties core's private caches and invalidates its L3 lines,
+// modelling a context losing all cached state. Statistics are kept.
+func (h *Hierarchy) FlushCore(core int) {
+	h.l1[core].Flush()
+	h.l2[core].Flush()
+	// Remove the core's lines from the shared L3 one by one.
+	owner := Owner(core)
+	l3 := h.l3
+	for i := range l3.sets {
+		s := &l3.sets[i]
+		for w := range s.lines {
+			if s.lines[w].valid && s.lines[w].owner == owner {
+				s.lines[w] = line{}
+				s.stamp[w] = 0
+			}
+		}
+	}
+	h.pf[core].Reset()
+}
+
+// ResetStats zeroes counters at every level.
+func (h *Hierarchy) ResetStats() {
+	for i := range h.l1 {
+		h.l1[i].ResetStats()
+		h.l2[i].ResetStats()
+	}
+	h.l3.ResetStats()
+}

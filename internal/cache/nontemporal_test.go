@@ -1,0 +1,63 @@
+package cache
+
+import (
+	"testing"
+
+	"cachepirate/internal/prefetch"
+)
+
+func TestNonTemporalMissLeavesNoFootprint(t *testing.T) {
+	h := tinyHierarchy(1, LRU, nil)
+	out := h.AccessNonTemporal(0, 0x2000)
+	if out.ServedBy != LevelMem {
+		t.Fatalf("cold NT access served by %v", out.ServedBy)
+	}
+	if out.MemReadBytes != 64 {
+		t.Errorf("NT miss read %d bytes", out.MemReadBytes)
+	}
+	// No level was filled.
+	if h.L1(0).Probe(0x2000) || h.L2(0).Probe(0x2000) || h.L3().Probe(0x2000) {
+		t.Error("non-temporal miss filled a cache level")
+	}
+	// And it happens again: still a miss.
+	if out := h.AccessNonTemporal(0, 0x2000); out.ServedBy != LevelMem {
+		t.Error("second NT access should still miss")
+	}
+}
+
+func TestNonTemporalHitsResidentLines(t *testing.T) {
+	h := tinyHierarchy(1, LRU, nil)
+	h.Access(0, 0x40, false) // regular access fills all levels
+	if out := h.AccessNonTemporal(0, 0x40); out.ServedBy != LevelL1 {
+		t.Errorf("NT access to L1-resident line served by %v", out.ServedBy)
+	}
+	// Fill only L2+L3 by evicting from L1: touch conflicting lines.
+	h.Access(0, 0x40+512, false)
+	h.Access(0, 0x40+1024, false)
+	out := h.AccessNonTemporal(0, 0x40)
+	if out.ServedBy != LevelL2 {
+		t.Errorf("NT access to L2-resident line served by %v", out.ServedBy)
+	}
+}
+
+func TestNonTemporalDoesNotTrainPrefetcher(t *testing.T) {
+	h := tinyHierarchy(1, LRU, func() prefetch.Prefetcher {
+		return prefetch.NewStream(prefetch.StreamConfig{})
+	})
+	// Sequential NT scan: with prefetch training this would generate
+	// prefetch fills; it must not.
+	for i := 0; i < 64; i++ {
+		h.AccessNonTemporal(0, Addr(0x100000+i*64))
+	}
+	if st := h.L3().Stats(0); st.PrefetchFills != 0 {
+		t.Errorf("NT accesses trained the prefetcher: %d fills", st.PrefetchFills)
+	}
+}
+
+func TestNonTemporalCountsL3Port(t *testing.T) {
+	h := tinyHierarchy(1, LRU, nil)
+	out := h.AccessNonTemporal(0, 0x9000)
+	if out.L3Accesses != 1 {
+		t.Errorf("NT miss used %d L3 accesses, want 1", out.L3Accesses)
+	}
+}

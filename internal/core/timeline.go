@@ -1,0 +1,207 @@
+package core
+
+import (
+	"cachepirate/internal/analysis"
+	"cachepirate/internal/counters"
+	"cachepirate/internal/machine"
+)
+
+// This file adds phase-resolved profiling. §II-C1 requires that "the
+// full measurement cycle must be evaluated in each significant program
+// phase" for dynamic adjustment to be accurate; ProfileTimeline makes
+// that inspectable by keeping every individual measurement instead of
+// averaging across cycles, and analysis on the timeline (PhaseSpread)
+// quantifies how phase-dependent each size's samples are — the effect
+// behind 403.gcc's 23% error at the paper's 1B-instruction interval
+// (Table III).
+
+// TimelineSample is one measurement interval's result.
+type TimelineSample struct {
+	// Cycle and CacheBytes locate the sample in the schedule.
+	Cycle      int
+	CacheBytes int64
+	// StartInstr is the Target's cumulative instruction count when the
+	// interval began — its position in the program, the phase axis.
+	StartInstr uint64
+	// Metrics of the interval.
+	CPI              float64
+	BandwidthGBs     float64
+	FetchRatio       float64
+	MissRatio        float64
+	PirateFetchRatio float64
+	Trusted          bool
+}
+
+// Timeline is the full per-interval record of a dynamic profiling run.
+type Timeline struct {
+	Samples []TimelineSample
+}
+
+// Curve collapses the timeline into an averaged curve (what Profile
+// returns), so callers can have both views from one run.
+func (tl *Timeline) Curve(fetchThreshold float64) *analysis.Curve {
+	type acc struct {
+		cpi, bw, fetch, miss, pfr float64
+		n                         int
+	}
+	accs := map[int64]*acc{}
+	for _, s := range tl.Samples {
+		a := accs[s.CacheBytes]
+		if a == nil {
+			a = &acc{}
+			accs[s.CacheBytes] = a
+		}
+		a.cpi += s.CPI
+		a.bw += s.BandwidthGBs
+		a.fetch += s.FetchRatio
+		a.miss += s.MissRatio
+		a.pfr += s.PirateFetchRatio
+		a.n++
+	}
+	curve := &analysis.Curve{Name: "pirate-timeline"}
+	for size, a := range accs {
+		n := float64(a.n)
+		pfr := a.pfr / n
+		curve.Points = append(curve.Points, analysis.Point{
+			CacheBytes:       size,
+			CPI:              a.cpi / n,
+			BandwidthGBs:     a.bw / n,
+			FetchRatio:       a.fetch / n,
+			MissRatio:        a.miss / n,
+			PirateFetchRatio: pfr,
+			Trusted:          pfr <= fetchThreshold,
+			Samples:          a.n,
+		})
+	}
+	curve.Sort()
+	return curve
+}
+
+// PhaseSpread returns, per cache size, the relative spread of CPI
+// across that size's samples: (max-min)/mean. Small spreads mean every
+// cycle saw the same program behaviour; large spreads mean the
+// measurement cycles straddled program phases and the averaged curve
+// hides real variation.
+func (tl *Timeline) PhaseSpread() map[int64]float64 {
+	type mm struct {
+		min, max, sum float64
+		n             int
+	}
+	ms := map[int64]*mm{}
+	for _, s := range tl.Samples {
+		m := ms[s.CacheBytes]
+		if m == nil {
+			m = &mm{min: s.CPI, max: s.CPI}
+			ms[s.CacheBytes] = m
+		}
+		if s.CPI < m.min {
+			m.min = s.CPI
+		}
+		if s.CPI > m.max {
+			m.max = s.CPI
+		}
+		m.sum += s.CPI
+		m.n++
+	}
+	out := make(map[int64]float64, len(ms))
+	for size, m := range ms {
+		mean := m.sum / float64(m.n)
+		if mean > 0 {
+			out[size] = (m.max - m.min) / mean
+		}
+	}
+	return out
+}
+
+// ProfileTimeline is Profile with per-interval recording: same
+// schedule (descending sizes per cycle, warm-ups on growth), but every
+// measurement is kept with its position in the Target's execution.
+func ProfileTimeline(cfg Config, newGen GenFactory) (*Timeline, *Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{ThreadsUsed: cfg.Threads}
+	if rep.ThreadsUsed == 0 {
+		t, cpis, err := DetermineThreads(cfg, newGen)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.ThreadsUsed, rep.ThreadTestCPIs = t, cpis
+	}
+
+	m, err := machine.New(cfg.Machine)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.Attach(cfg.TargetCore, newGen(cfg.Seed)); err != nil {
+		return nil, nil, err
+	}
+	pirate, err := NewPirate(m, cfg.PirateCores)
+	if err != nil {
+		return nil, nil, err
+	}
+	pirate.SetNaiveSplit(cfg.NaiveSplit)
+	pmu := counters.NewPMU(m)
+
+	if cfg.AttachInstr > 0 {
+		if err := m.RunInstructions(cfg.TargetCore, cfg.AttachInstr); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := warmTarget(cfg, m, pmu); err != nil {
+		return nil, nil, err
+	}
+
+	sizes := append([]int64(nil), cfg.Sizes...)
+	sortInt64Desc(sizes)
+	tl := &Timeline{}
+
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		for _, size := range sizes {
+			pwss := cfg.Machine.L3.Size - size
+			grew := pwss > pirate.WSS()
+			if err := pirate.SetWSS(pwss, rep.ThreadsUsed); err != nil {
+				return nil, nil, err
+			}
+			if pwss > 0 && grew {
+				m.Suspend(cfg.TargetCore)
+				if err := pirate.Warm(cfg.PirateWarmPasses); err != nil {
+					return nil, nil, err
+				}
+				m.Resume(cfg.TargetCore)
+				if err := m.RunInstructions(cfg.TargetCore, cfg.TargetWarmupInstrs/2); err != nil {
+					return nil, nil, err
+				}
+			} else {
+				pirate.Suspend()
+				if err := warmTarget(cfg, m, pmu); err != nil {
+					return nil, nil, err
+				}
+				pirate.Resume()
+			}
+
+			start := m.ReadCounters(cfg.TargetCore).Instructions
+			pmu.MarkAll()
+			if err := m.RunInstructions(cfg.TargetCore, cfg.IntervalInstrs); err != nil {
+				return nil, nil, err
+			}
+			ts := pmu.ReadInterval(cfg.TargetCore)
+			pfr := pirateFetchRatio(pmu, pirate)
+			tl.Samples = append(tl.Samples, TimelineSample{
+				Cycle:            cycle,
+				CacheBytes:       size,
+				StartInstr:       start,
+				CPI:              ts.CPI(),
+				BandwidthGBs:     ts.BandwidthGBs(cfg.Machine.CPU.FreqHz),
+				FetchRatio:       ts.FetchRatio(),
+				MissRatio:        ts.MissRatio(),
+				PirateFetchRatio: pfr,
+				Trusted:          pfr <= cfg.FetchThreshold,
+			})
+		}
+	}
+	rep.TargetInstructions = m.ReadCounters(cfg.TargetCore).Instructions
+	rep.WallCycles = m.Now()
+	return tl, rep, nil
+}

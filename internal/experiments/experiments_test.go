@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cachepirate/internal/machine"
+)
+
+func quickOpts() Options {
+	return Options{Quick: true, Cycles: 1}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.IntervalInstrs != 150_000 || o.Cycles != 2 || o.TraceRecords != 800_000 {
+		t.Errorf("full defaults wrong: %+v", o)
+	}
+	if len(o.Sizes) != 16 {
+		t.Errorf("full default sizes = %d", len(o.Sizes))
+	}
+	q := Options{Quick: true}.withDefaults()
+	if q.IntervalInstrs >= o.IntervalInstrs || len(q.Sizes) >= len(o.Sizes) {
+		t.Error("quick options not smaller than full")
+	}
+}
+
+func TestBenchListOverrideAndQuickTrim(t *testing.T) {
+	o := Options{Benchmarks: []string{"lbm"}}
+	if got := o.benchList("a", "b", "c"); len(got) != 1 || got[0] != "lbm" {
+		t.Errorf("override ignored: %v", got)
+	}
+	q := Options{Quick: true}
+	if got := q.benchList("a", "b", "c", "d"); len(got) != 2 {
+		t.Errorf("quick trim failed: %v", got)
+	}
+}
+
+func TestAllRunnersHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range All() {
+		if seen[r.ID] {
+			t.Errorf("duplicate runner id %q", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Desc == "" || r.Run == nil {
+			t.Errorf("runner %q incomplete", r.ID)
+		}
+	}
+	for _, id := range []string{"fig1", "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "tab2", "tab3", "fn5"} {
+		if !seen[id] {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+	if _, ok := ByID("fig1"); !ok {
+		t.Error("ByID failed for fig1")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID found a bogus id")
+	}
+}
+
+func TestMeasureThroughputValidation(t *testing.T) {
+	mcfg := machine.NehalemConfig()
+	if _, _, err := MeasureThroughput(mcfg, factory("povray"), 1, 9, 10, 10); err == nil {
+		t.Error("too many instances accepted")
+	}
+}
+
+func TestThroughputSeriesMonotoneForComputeBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("co-run series in -short mode")
+	}
+	// A compute-bound workload barely shares anything: throughput must
+	// scale almost linearly.
+	thr, _, err := ThroughputSeries(machine.NehalemConfig(), factory("povray"), 1, 4, 150_000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(thr) != 4 {
+		t.Fatalf("series = %v", thr)
+	}
+	if thr[3] < 3.5 {
+		t.Errorf("compute-bound scaling only %.2f at 4 instances", thr[3])
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := &Result{ID: "x", Title: "t"}
+	r.Notef("hello %d", 7)
+	out := r.String()
+	if !strings.Contains(out, "== x: t ==") || !strings.Contains(out, "hello 7") {
+		t.Errorf("result rendering: %q", out)
+	}
+}
+
+// TestQuickExperimentsRun smoke-tests every experiment at quick scale:
+// they must complete without error and produce at least one table.
+func TestQuickExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are seconds-scale; skipped in -short mode")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			res, err := r.Run(quickOpts())
+			if err != nil {
+				t.Fatalf("%s failed: %v", r.ID, err)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatalf("%s produced no tables", r.ID)
+			}
+			if res.ID != r.ID {
+				t.Errorf("result id %q != runner id %q", res.ID, r.ID)
+			}
+		})
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"cachepirate/internal/bandit"
+	"cachepirate/internal/machine"
+	"cachepirate/internal/report"
+)
+
+// Ext1BandwidthBandit runs the §VI future-work extension: Target
+// performance as a function of available *off-chip bandwidth*, for one
+// bandwidth-hungry, one latency-bound and one compute-bound benchmark.
+// The expected shapes: lbm degrades roughly linearly once the bandit
+// eats into its required bandwidth; mcf (latency-bound, modest
+// bandwidth) degrades only via queueing latency; povray does not care.
+func Ext1BandwidthBandit(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{ID: "ext1", Title: "bandwidth bandit: performance vs available off-chip bandwidth"}
+	for _, bench := range opts.benchList("lbm", "mcf", "povray") {
+		cfg := bandit.Config{
+			Machine:        machine.NehalemConfig(),
+			IntervalInstrs: opts.IntervalInstrs,
+			WarmupInstrs:   opts.IntervalInstrs,
+			Seed:           opts.Seed,
+		}
+		curve, err := bandit.Profile(cfg, factory(bench))
+		if err != nil {
+			return nil, err
+		}
+		t := report.NewTable(bench+" — CPI vs available bandwidth",
+			"pace", "bandit BW", "available BW", "target CPI", "target BW", "bandit L3 bytes")
+		for _, p := range curve.Points {
+			t.Add(
+				report.F(float64(p.Pace), 0),
+				report.GBs(p.BanditGBs),
+				report.GBs(p.AvailableGBs),
+				report.F(p.TargetCPI, 3),
+				report.GBs(p.TargetGBs),
+				report.MB(p.BanditCacheBytes),
+			)
+		}
+		res.Add(t)
+	}
+	res.Notef("max system bandwidth: %s", report.GBs(
+		machine.NehalemConfig().DRAM.BytesPerCycle*machine.NehalemConfig().CPU.FreqHz/1e9))
+	return res, nil
+}

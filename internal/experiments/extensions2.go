@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"cachepirate/internal/analysis"
+	"cachepirate/internal/cache"
+	"cachepirate/internal/report"
+	"cachepirate/internal/simulate"
+)
+
+// Ext2ReferenceMethods compares the three ways this repository can
+// produce a fetch-ratio-vs-cache-size curve:
+//
+//  1. Cache Pirating (the paper's contribution) — on-line, on the
+//     "real" machine, all idiosyncrasies included;
+//  2. the trace-driven cache simulator (§III-B) — exact cache state,
+//     but offline and policy-dependent;
+//  3. the analytical stack-distance model (the paper's reference [6])
+//     — one trace pass for all sizes, but fully-associative LRU only.
+//
+// The paper's Fig. 4 argument — that the wrong reference model gives
+// qualitatively misleading results — shows up here as the stack
+// model's divergence on the sequential micro benchmark, where true
+// LRU (which the stack model embodies) thrashes but the Nehalem
+// accessed-bit policy does not.
+func Ext2ReferenceMethods(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{ID: "ext2", Title: "three reference methods: pirate vs simulator vs stack model"}
+	for _, bench := range opts.benchList("microrand", "microseq") {
+		pirate, err := pirateCurveNoPrefetch(opts, bench)
+		if err != nil {
+			return nil, err
+		}
+		base := baselineFetchRatio(pirate)
+		refs, err := referenceCurves(opts, bench, base, cache.Nehalem)
+		if err != nil {
+			return nil, err
+		}
+		sim := refs[cache.Nehalem]
+
+		tr := simulate.CaptureTrace(factory(bench), opts.Seed, 0, opts.TraceRecords)
+		stack, err := simulate.StackModelCurve(tr, opts.Sizes)
+		if err != nil {
+			return nil, err
+		}
+		simulate.Calibrate(stack, base)
+
+		t := report.NewTable("fetch ratio — "+bench,
+			"cache", "pirate", "simulator", "stack-model", "trusted")
+		for _, p := range pirate.Points {
+			sv, _ := sim.FetchRatioAt(p.CacheBytes)
+			kv, _ := stack.FetchRatioAt(p.CacheBytes)
+			t.Add(report.MB(p.CacheBytes), report.Pct(p.FetchRatio, 2),
+				report.Pct(sv, 2), report.Pct(kv, 2), boolStr(p.Trusted))
+		}
+		res.Add(t)
+
+		simErr, err := analysis.FetchRatioErrors(pirate, sim)
+		if err != nil {
+			return nil, err
+		}
+		stackErr, err := analysis.FetchRatioErrors(pirate, stack)
+		if err != nil {
+			return nil, err
+		}
+		res.Notef("%s: simulator abs mean error %.2f%%, stack model %.2f%%",
+			bench, simErr.AbsMean*100, stackErr.AbsMean*100)
+	}
+	return res, nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"sort"
+
+	"cachepirate/internal/core"
+	"cachepirate/internal/machine"
+	"cachepirate/internal/report"
+)
+
+// Ext5PhaseResolved exposes what Table III's gcc pathology looks like
+// from the inside: ProfileTimeline keeps every measurement interval
+// instead of averaging, and the per-size CPI spread across measurement
+// cycles shows which sizes' samples straddled program phases. A phased
+// application (gcc) shows large spreads; a steady one (sphinx3) does
+// not. §II-C1's correctness condition — "the full measurement cycle
+// must be evaluated in each significant program phase" — becomes a
+// measurable quantity.
+func Ext5PhaseResolved(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{ID: "ext5", Title: "phase-resolved profiling: per-size CPI spread across cycles"}
+
+	for _, bench := range opts.benchList("gcc", "sphinx3") {
+		cfg := opts.profileConfig(machine.NehalemConfig())
+		cfg.Threads = 1
+		if cfg.Cycles < 3 {
+			cfg.Cycles = 3 // spreads need several samples per size
+		}
+		tl, _, err := core.ProfileTimeline(cfg, factory(bench))
+		if err != nil {
+			return nil, err
+		}
+		spread := tl.PhaseSpread()
+		var sizes []int64
+		for s := range spread {
+			sizes = append(sizes, s)
+		}
+		sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+
+		t := report.NewTable("per-size CPI spread — "+bench,
+			"cache", "avg CPI", "spread (max-min)/mean")
+		curve := tl.Curve(cfg.FetchThreshold)
+		for _, s := range sizes {
+			cpi, err := curve.CPIAt(s)
+			if err != nil {
+				return nil, err
+			}
+			t.Add(report.MB(s), report.F(cpi, 3), report.Pct(spread[s], 1))
+		}
+		res.Add(t)
+
+		worst := 0.0
+		for _, v := range spread {
+			if v > worst {
+				worst = v
+			}
+		}
+		res.Notef("%s: worst per-size spread %.1f%% across %d samples", bench, worst*100, len(tl.Samples))
+	}
+	res.Notef("large spreads mean the averaged curve hides phase behaviour — gcc's Table III failure mode")
+	return res, nil
+}

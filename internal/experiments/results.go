@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"cachepirate/internal/core"
+	"cachepirate/internal/machine"
+	"cachepirate/internal/report"
+)
+
+// fig8Benchmarks are the applications whose full metric panels the
+// paper shows in Figure 8.
+var fig8Benchmarks = []string{
+	"mcf", "libquantum", "lbm", "gromacs", "sphinx3", "bzip2", "calculix",
+}
+
+// Fig8MetricCurves reproduces Figure 8: CPI, bandwidth, fetch-ratio
+// and miss-ratio curves with hardware prefetching enabled. The
+// qualitative signatures to look for: gromacs' flat CPI despite a 10x
+// miss-ratio rise, sphinx3's steep CPI, lbm's fetch>>miss prefetch
+// gap, libquantum's high bandwidth, bzip2's near-zero bandwidth.
+func Fig8MetricCurves(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{ID: "fig8", Title: "metric curves with prefetching enabled"}
+	for _, bench := range opts.benchList(fig8Benchmarks...) {
+		cfg := opts.profileConfig(machine.NehalemConfig())
+		curve, rep, err := core.Profile(cfg, factory(bench))
+		if err != nil {
+			return nil, err
+		}
+		curve.Name = bench
+		res.Add(report.CurveTable(bench+" (prefetching on)", curve))
+		res.Notef("%s: %s (threads=%d)", bench, report.CurveSparklines(curve), rep.ThreadsUsed)
+	}
+	return res, nil
+}
+
+// Fig9LBMNoPrefetch reproduces Figure 9: LBM re-profiled with hardware
+// prefetching disabled. Expect lower bandwidth, higher CPI at every
+// size, and a CPI that now *rises* as cache shrinks — prefetching was
+// compensating for the lost cache (fetch ratio equals miss ratio).
+func Fig9LBMNoPrefetch(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{ID: "fig9", Title: "LBM with hardware prefetching disabled"}
+
+	on, _, err := core.Profile(opts.profileConfig(machine.NehalemConfig()), factory("lbm"))
+	if err != nil {
+		return nil, err
+	}
+	off, _, err := core.Profile(opts.profileConfig(machine.NehalemConfigNoPrefetch()), factory("lbm"))
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("lbm: prefetching on vs off",
+		"cache", "CPI on", "CPI off", "BW on", "BW off", "fetch on", "miss on", "fetch off", "miss off")
+	for i, p := range off.Points {
+		q := on.Points[i]
+		t.Add(report.MB(p.CacheBytes),
+			report.F(q.CPI, 3), report.F(p.CPI, 3),
+			report.GBs(q.BandwidthGBs), report.GBs(p.BandwidthGBs),
+			report.Pct(q.FetchRatio, 2), report.Pct(q.MissRatio, 2),
+			report.Pct(p.FetchRatio, 2), report.Pct(p.MissRatio, 2))
+	}
+	res.Add(t)
+	res.Notef("with prefetching off, fetch ratio equals miss ratio by definition")
+	return res, nil
+}

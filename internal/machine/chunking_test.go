@@ -1,0 +1,110 @@
+package machine
+
+import (
+	"testing"
+
+	"cachepirate/internal/workload"
+)
+
+// TestChunkedRetirementKeepsClocksAligned guards the fix for the
+// event-ordering artifact: a context with very large per-op
+// instruction counts must not issue memory requests far "in the past"
+// relative to its co-runners. With chunked retirement, the spread
+// between core clocks at any scheduling point stays bounded by the
+// chunk cost, so a slow-paced co-runner cannot inflate the DRAM
+// queue seen by a fast one.
+func TestChunkedRetirementKeepsClocksAligned(t *testing.T) {
+	m := MustNew(smallConfig(2))
+	// Core 0: fine-grained streaming; core 1: huge compute gaps.
+	m.MustAttach(0, workload.NewSequential(workload.SequentialConfig{
+		Name: "fast", Span: 1 << 20, NInstr: 1, MLP: 6}))
+	m.MustAttach(1, workload.NewSequential(workload.SequentialConfig{
+		Name: "slow", Span: 1 << 20, NInstr: 2000, MLP: 6}))
+	for i := 0; i < 50000; i++ {
+		if !m.Step() {
+			t.Fatal("machine stalled")
+		}
+		// After each step the two clocks must stay within one op's
+		// worth of the chunked schedule (chunk cost + one access).
+		d := m.ReadCounters(0).Cycles
+		e := m.ReadCounters(1).Cycles
+		diff := int64(d) - int64(e)
+		if diff < 0 {
+			diff = -diff
+		}
+		const bound = 3000 // far below the 2000-instr op's ~800 cycles x several
+		if diff > bound {
+			t.Fatalf("clock skew %d cycles at step %d", diff, i)
+		}
+	}
+}
+
+// TestSlowCoRunnerDoesNotInflateQueues is the end-to-end regression:
+// a nearly-idle co-runner (tiny bandwidth use) must not slow a
+// streaming workload measurably.
+func TestSlowCoRunnerDoesNotInflateQueues(t *testing.T) {
+	cpiWith := func(coRunner bool) float64 {
+		m := MustNew(smallConfig(2))
+		m.MustAttach(0, workload.NewSequential(workload.SequentialConfig{
+			Name: "stream", Span: 16 << 20, NInstr: 2, MLP: 6}))
+		if coRunner {
+			m.MustAttach(1, workload.NewSequential(workload.SequentialConfig{
+				Name: "gentle", Span: 16 << 20, NInstr: 4000, MLP: 6}))
+		}
+		if err := m.RunInstructions(0, 30_000); err != nil {
+			t.Fatal(err)
+		}
+		before := m.ReadCounters(0)
+		if err := m.RunInstructions(0, 60_000); err != nil {
+			t.Fatal(err)
+		}
+		s := m.ReadCounters(0).Sub(before)
+		return s.CPI()
+	}
+	alone, with := cpiWith(false), cpiWith(true)
+	if with > alone*1.05 {
+		t.Errorf("nearly-idle co-runner inflated CPI: %.3f -> %.3f", alone, with)
+	}
+}
+
+// TestChunkedOpsCountInstructionsExactly: chunking must not change
+// instruction accounting.
+func TestChunkedOpsCountInstructionsExactly(t *testing.T) {
+	m := MustNew(smallConfig(1))
+	m.MustAttach(0, workload.NewSequential(workload.SequentialConfig{
+		Name: "big", Span: 1 << 16, NInstr: 999}))
+	// 10 ops = 10*(999+1) instructions.
+	for m.ReadCounters(0).MemAccesses < 10 {
+		if !m.Step() {
+			t.Fatal("stalled")
+		}
+	}
+	if got := m.ReadCounters(0).Instructions; got != 10_000 {
+		t.Errorf("instructions = %d, want 10000", got)
+	}
+}
+
+// TestRunInstructionsMidOp: RunInstructions may stop mid-op (between
+// chunks); the next run must resume the same op without losing or
+// duplicating the access.
+func TestRunInstructionsMidOp(t *testing.T) {
+	m := MustNew(smallConfig(1))
+	m.MustAttach(0, workload.NewSequential(workload.SequentialConfig{
+		Name: "big", Span: 1 << 16, NInstr: 999}))
+	if err := m.RunInstructions(0, 500); err != nil { // mid-op
+		t.Fatal(err)
+	}
+	accsAtPause := m.ReadCounters(0).MemAccesses
+	if err := m.RunInstructions(0, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	s := m.ReadCounters(0)
+	if s.MemAccesses <= accsAtPause {
+		t.Error("op never completed after mid-op pause")
+	}
+	// accesses = instructions / 1000 (integer): exact accounting.
+	want := s.Instructions / 1000
+	if s.MemAccesses != want && s.MemAccesses != want+1 {
+		t.Errorf("accesses = %d for %d instructions", s.MemAccesses, s.Instructions)
+	}
+}

@@ -1,0 +1,95 @@
+package machine
+
+import (
+	"testing"
+
+	"cachepirate/internal/cache"
+	"cachepirate/internal/workload"
+)
+
+func TestGenericLRUConfigValid(t *testing.T) {
+	cfg := GenericLRUConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("generic config invalid: %v", err)
+	}
+	if cfg.L3.Policy != cache.LRU {
+		t.Error("generic machine should use true LRU in the L3")
+	}
+	if cfg.L3.Size != 6<<20 {
+		t.Errorf("L3 size = %d", cfg.L3.Size)
+	}
+	// The bandwidth constants should differ from Nehalem's (it is a
+	// *contrasting* machine).
+	neh := NehalemConfig()
+	if cfg.DRAM.BytesPerCycle == neh.DRAM.BytesPerCycle {
+		t.Error("generic DRAM bandwidth identical to Nehalem")
+	}
+}
+
+func TestGenericMachineRuns(t *testing.T) {
+	m := MustNew(GenericLRUConfig())
+	m.MustAttach(0, workload.MustByName("microrand").New(1))
+	if err := m.RunInstructions(0, 50_000); err != nil {
+		t.Fatal(err)
+	}
+	s := m.ReadCounters(0)
+	if s.CPI() <= 0 || s.L3Fetches == 0 {
+		t.Errorf("degenerate run: %+v", s)
+	}
+}
+
+func TestNoPrefetchConfigVariant(t *testing.T) {
+	cfg := NehalemConfigNoPrefetch()
+	if cfg.NewPrefetcher != nil {
+		t.Error("no-prefetch config still builds prefetchers")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithL3SizeRejectsInvalidViaValidate(t *testing.T) {
+	cfg := WithL3Size(NehalemConfig(), 1000) // not divisible by ways*line
+	if err := cfg.Validate(); err == nil {
+		t.Error("indivisible L3 size accepted")
+	}
+}
+
+func TestNonTemporalOpThroughMachine(t *testing.T) {
+	m := MustNew(smallConfig(1))
+	m.MustAttach(0, &fixedGen{ops: []workload.Op{{Addr: 0x5000, NonTemporal: true}}})
+	m.RunSteps(3)
+	s := m.ReadCounters(0)
+	// Every NT access misses (no fills), each reading one line.
+	if s.L3Misses != 3 {
+		t.Errorf("NT misses = %d, want 3", s.L3Misses)
+	}
+	if s.L3Fetches != 0 {
+		t.Errorf("NT accesses filled %d lines", s.L3Fetches)
+	}
+	if s.MemReadBytes != 3*64 {
+		t.Errorf("NT read %d bytes", s.MemReadBytes)
+	}
+}
+
+func TestRunCyclesNoRunnableCores(t *testing.T) {
+	m := MustNew(smallConfig(1))
+	m.RunCycles(1000) // must terminate immediately
+	if m.Now() != 0 {
+		t.Errorf("empty RunCycles advanced time to %g", m.Now())
+	}
+}
+
+func TestSuspendedMachineStops(t *testing.T) {
+	m := MustNew(smallConfig(2))
+	m.MustAttach(0, workload.NewSequential(workload.SequentialConfig{Name: "a", Span: 1024}))
+	m.MustAttach(1, workload.NewSequential(workload.SequentialConfig{Name: "b", Span: 1024}))
+	m.Suspend(0)
+	m.Suspend(1)
+	if m.Step() {
+		t.Error("fully suspended machine stepped")
+	}
+	if got := m.RunSteps(10); got != 0 {
+		t.Errorf("RunSteps on suspended machine ran %d", got)
+	}
+}

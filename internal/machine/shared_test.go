@@ -1,0 +1,163 @@
+package machine
+
+import (
+	"testing"
+
+	"cachepirate/internal/workload"
+)
+
+// fixedGen replays a fixed op list, then loops.
+type fixedGen struct {
+	ops []workload.Op
+	pos int
+}
+
+func (g *fixedGen) Next() workload.Op {
+	op := g.ops[g.pos%len(g.ops)]
+	g.pos++
+	return op
+}
+func (g *fixedGen) Reset(uint64)      { g.pos = 0 }
+func (g *fixedGen) Name() string      { return "fixed" }
+func (g *fixedGen) MLP() float64      { return 1 }
+func (g *fixedGen) WorkingSet() int64 { return 4096 }
+
+func TestAttachSharedSameAddressSpace(t *testing.T) {
+	m := MustNew(smallConfig(2))
+	// Both cores read the same line in a shared group: the second
+	// core's access must hit the shared L3 (one fetch total), unlike
+	// private attachment where each core fetches its own copy.
+	g0 := &fixedGen{ops: []workload.Op{{Addr: 0x1000}}}
+	g1 := &fixedGen{ops: []workload.Op{{Addr: 0x1000}}}
+	if err := m.AttachShared(0, 3, g0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachShared(1, 3, g1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunInstructions(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunInstructions(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := m.ReadCounters(0), m.ReadCounters(1)
+	if s0.L3Misses != 1 {
+		t.Errorf("first reader misses = %d, want 1", s0.L3Misses)
+	}
+	if s1.L3Misses != 0 {
+		t.Errorf("second reader should hit the shared line, missed %d", s1.L3Misses)
+	}
+}
+
+func TestPrivateAttachKeepsSpacesDisjoint(t *testing.T) {
+	m := MustNew(smallConfig(2))
+	m.MustAttach(0, &fixedGen{ops: []workload.Op{{Addr: 0x1000}}})
+	m.MustAttach(1, &fixedGen{ops: []workload.Op{{Addr: 0x1000}}})
+	m.RunSteps(2)
+	if got := m.ReadCounters(0).L3Misses + m.ReadCounters(1).L3Misses; got != 2 {
+		t.Errorf("private spaces shared a line: %d misses, want 2", got)
+	}
+}
+
+func TestSharedWriteInvalidatesRemoteCopy(t *testing.T) {
+	m := MustNew(smallConfig(2))
+	// Core 0 reads X twice (second is an L1 hit); core 1 writes X;
+	// core 0's next read must miss L1 (copy invalidated) but hit L3.
+	g0 := &fixedGen{ops: []workload.Op{{Addr: 0x2000}}}
+	g1 := &fixedGen{ops: []workload.Op{{Addr: 0x2000, Write: true}}}
+	if err := m.AttachShared(0, 1, g0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachShared(1, 1, g1); err != nil {
+		t.Fatal(err)
+	}
+	m.Suspend(1)
+	if err := m.RunInstructions(0, 2); err != nil { // read, read (L1 hit)
+		t.Fatal(err)
+	}
+	m.Suspend(0)
+	m.Resume(1)
+	if err := m.RunInstructions(1, 1); err != nil { // remote write
+		t.Fatal(err)
+	}
+	m.Suspend(1)
+	m.Resume(0)
+	before := m.ReadCounters(0)
+	if err := m.RunInstructions(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	after := m.ReadCounters(0).Sub(before)
+	// The read re-reaches the L3 (L1/L2 copies were invalidated) but
+	// finds the line there.
+	if after.L3Accesses != 1 {
+		t.Errorf("post-invalidation read should reach L3, accesses = %d", after.L3Accesses)
+	}
+	if after.L3Misses != 0 {
+		t.Errorf("post-invalidation read should hit L3, misses = %d", after.L3Misses)
+	}
+}
+
+func TestSharedWriteUpgradeCostCharged(t *testing.T) {
+	run := func(remoteCopy bool) float64 {
+		m := MustNew(smallConfig(2))
+		g0 := &fixedGen{ops: []workload.Op{{Addr: 0x3000}}}
+		g1 := &fixedGen{ops: []workload.Op{{Addr: 0x3000, Write: true}}}
+		if err := m.AttachShared(0, 1, g0); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AttachShared(1, 1, g1); err != nil {
+			t.Fatal(err)
+		}
+		m.Suspend(1)
+		if remoteCopy {
+			if err := m.RunInstructions(0, 1); err != nil { // core 0 caches X
+				t.Fatal(err)
+			}
+		}
+		m.Suspend(0)
+		m.Resume(1)
+		// Warm the writer's own path once so both runs write from the
+		// same starting state (line in L3 after the first write).
+		if err := m.RunInstructions(1, 1); err != nil {
+			t.Fatal(err)
+		}
+		before := m.ReadCounters(1)
+		// Re-prime a remote copy if requested.
+		if remoteCopy {
+			m.Suspend(1)
+			m.Resume(0)
+			if err := m.RunInstructions(0, 1); err != nil {
+				t.Fatal(err)
+			}
+			m.Suspend(0)
+			m.Resume(1)
+			before = m.ReadCounters(1)
+		}
+		if err := m.RunInstructions(1, 1); err != nil {
+			t.Fatal(err)
+		}
+		return float64(m.ReadCounters(1).Cycles - before.Cycles)
+	}
+	without := run(false)
+	with := run(true)
+	if with <= without {
+		t.Errorf("upgrade cost not charged: %v cycles with remote copy vs %v without", with, without)
+	}
+}
+
+func TestSharedGroupsAreIsolatedFromEachOther(t *testing.T) {
+	m := MustNew(smallConfig(2))
+	g0 := &fixedGen{ops: []workload.Op{{Addr: 0x4000}}}
+	g1 := &fixedGen{ops: []workload.Op{{Addr: 0x4000}}}
+	if err := m.AttachShared(0, 1, g0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachShared(1, 2, g1); err != nil { // different group
+		t.Fatal(err)
+	}
+	m.RunSteps(2)
+	if got := m.ReadCounters(0).L3Misses + m.ReadCounters(1).L3Misses; got != 2 {
+		t.Errorf("different groups shared a line: %d misses, want 2", got)
+	}
+}

@@ -1,0 +1,135 @@
+package prefetch
+
+// Stream is a multi-stream sequential prefetcher modelled after the
+// DCU/L2 streamers in Nehalem-class parts: it tracks up to Streams
+// independent ascending or descending streams; once a stream sees
+// Confirm sequential accesses it runs Degree lines ahead of demand.
+type Stream struct {
+	streams []streamEntry
+	degree  int
+	confirm int
+	lruTick uint64
+	buf     []uint64
+}
+
+type streamEntry struct {
+	valid   bool
+	last    uint64 // last demand line observed
+	dir     int64  // +1 ascending, -1 descending
+	count   int    // confirmations so far
+	ahead   uint64 // furthest line already prefetched (in stream direction)
+	lastUse uint64
+}
+
+// StreamConfig parameterises a Stream prefetcher.
+type StreamConfig struct {
+	Streams int // concurrent streams tracked (default 16)
+	Degree  int // prefetch distance in lines once confirmed (default 4)
+	Confirm int // sequential accesses needed to confirm (default 2)
+}
+
+// NewStream builds a stream prefetcher; zero fields take defaults.
+func NewStream(cfg StreamConfig) *Stream {
+	if cfg.Streams <= 0 {
+		cfg.Streams = 16
+	}
+	if cfg.Degree <= 0 {
+		cfg.Degree = 4
+	}
+	if cfg.Confirm <= 0 {
+		cfg.Confirm = 2
+	}
+	return &Stream{
+		streams: make([]streamEntry, cfg.Streams),
+		degree:  cfg.Degree,
+		confirm: cfg.Confirm,
+		buf:     make([]uint64, 0, cfg.Degree),
+	}
+}
+
+// Name returns "stream".
+func (p *Stream) Name() string { return "stream" }
+
+// Reset clears all stream training state.
+func (p *Stream) Reset() {
+	for i := range p.streams {
+		p.streams[i] = streamEntry{}
+	}
+	p.lruTick = 0
+}
+
+// Observe trains on the demand line stream and emits prefetches for
+// confirmed streams. Both hits and misses train (a prefetch hit must
+// keep the stream running ahead).
+func (p *Stream) Observe(lineAddr uint64, miss bool) []uint64 {
+	p.lruTick++
+	p.buf = p.buf[:0]
+
+	// Find a stream this access continues: next line in either
+	// direction, or a re-touch of the same line.
+	for i := range p.streams {
+		s := &p.streams[i]
+		if !s.valid {
+			continue
+		}
+		if lineAddr == s.last {
+			s.lastUse = p.lruTick
+			return nil
+		}
+		var dir int64
+		switch lineAddr {
+		case s.last + 1:
+			dir = 1
+		case s.last - 1:
+			dir = -1
+		default:
+			continue
+		}
+		if s.dir != 0 && s.dir != dir {
+			continue
+		}
+		s.dir = dir
+		s.count++
+		s.last = lineAddr
+		s.lastUse = p.lruTick
+		if s.count < p.confirm {
+			return nil
+		}
+		// Confirmed: keep the prefetch frontier Degree lines ahead.
+		if s.count == p.confirm {
+			s.ahead = lineAddr
+		}
+		target := int64(lineAddr) + dir*int64(p.degree)
+		for int64(s.ahead) != target {
+			next := int64(s.ahead) + dir
+			if next < 0 {
+				break
+			}
+			s.ahead = uint64(next)
+			p.buf = append(p.buf, s.ahead)
+			if len(p.buf) >= p.degree {
+				break
+			}
+		}
+		return p.buf
+	}
+
+	// No stream matched: allocate (only misses allocate new streams).
+	if !miss {
+		return nil
+	}
+	victim := 0
+	oldest := p.streams[0].lastUse
+	for i := range p.streams {
+		if !p.streams[i].valid {
+			victim = i
+			break
+		}
+		if p.streams[i].lastUse < oldest {
+			victim, oldest = i, p.streams[i].lastUse
+		}
+	}
+	// The allocating access counts as the stream's first confirmation.
+	p.streams[victim] = streamEntry{valid: true, last: lineAddr, count: 1, lastUse: p.lruTick}
+	return nil
+}

@@ -1,0 +1,108 @@
+package prefetch
+
+// Stride detects constant-stride access patterns with strides larger
+// than one line (e.g. column walks over row-major matrices) and runs
+// Degree strides ahead once confirmed. Entries are keyed by 4KB region,
+// standing in for the PC-indexed tables real hardware uses (the
+// simulated workload stream carries no PCs).
+type Stride struct {
+	entries map[uint64]*strideEntry
+	degree  int
+	confirm int
+	maxEnt  int
+	buf     []uint64
+	tick    uint64
+}
+
+type strideEntry struct {
+	last   uint64
+	stride int64
+	count  int
+	tick   uint64
+}
+
+// StrideConfig parameterises a Stride prefetcher.
+type StrideConfig struct {
+	Degree  int // strides to run ahead (default 2)
+	Confirm int // repeats needed to confirm a stride (default 2)
+	Entries int // max tracked regions (default 64)
+}
+
+// NewStride builds a stride prefetcher; zero fields take defaults.
+func NewStride(cfg StrideConfig) *Stride {
+	if cfg.Degree <= 0 {
+		cfg.Degree = 2
+	}
+	if cfg.Confirm <= 0 {
+		cfg.Confirm = 2
+	}
+	if cfg.Entries <= 0 {
+		cfg.Entries = 64
+	}
+	return &Stride{
+		entries: make(map[uint64]*strideEntry),
+		degree:  cfg.Degree,
+		confirm: cfg.Confirm,
+		maxEnt:  cfg.Entries,
+		buf:     make([]uint64, 0, cfg.Degree),
+	}
+}
+
+// Name returns "stride".
+func (p *Stride) Name() string { return "stride" }
+
+// Reset clears all training state.
+func (p *Stride) Reset() { p.entries = make(map[uint64]*strideEntry) }
+
+// Observe trains the per-region stride table and emits prefetches for
+// confirmed strides.
+func (p *Stride) Observe(lineAddr uint64, miss bool) []uint64 {
+	p.tick++
+	const regionLines = 4096 / 64 // 4KB regions in 64B lines
+	region := lineAddr / regionLines
+	e, ok := p.entries[region]
+	if !ok {
+		if !miss {
+			return nil
+		}
+		if len(p.entries) >= p.maxEnt {
+			// Evict the stalest entry to bound table size.
+			var oldK uint64
+			var oldT uint64 = ^uint64(0)
+			for k, v := range p.entries {
+				if v.tick < oldT {
+					oldK, oldT = k, v.tick
+				}
+			}
+			delete(p.entries, oldK)
+		}
+		p.entries[region] = &strideEntry{last: lineAddr, tick: p.tick}
+		return nil
+	}
+	e.tick = p.tick
+	s := int64(lineAddr) - int64(e.last)
+	e.last = lineAddr
+	if s == 0 {
+		return nil
+	}
+	if s == e.stride {
+		e.count++
+	} else {
+		e.stride = s
+		e.count = 1
+		return nil
+	}
+	if e.count < p.confirm {
+		return nil
+	}
+	p.buf = p.buf[:0]
+	next := int64(lineAddr)
+	for i := 0; i < p.degree; i++ {
+		next += s
+		if next < 0 {
+			break
+		}
+		p.buf = append(p.buf, uint64(next))
+	}
+	return p.buf
+}

@@ -1,0 +1,165 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cachepirate/internal/analysis"
+)
+
+// Plot renders one or more named series as an ASCII line chart —
+// enough to eyeball curve shapes (knees, crossovers, grey regions) in
+// a terminal without leaving the harness.
+type Plot struct {
+	Title  string
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 16)
+	series []plotSeries
+}
+
+type plotSeries struct {
+	name   string
+	xs, ys []float64
+	marker rune
+}
+
+// plotMarkers are assigned to series in order.
+var plotMarkers = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// NewPlot builds an empty plot.
+func NewPlot(title string) *Plot {
+	return &Plot{Title: title, Width: 60, Height: 16}
+}
+
+// AddSeries appends a named series; xs and ys must have equal length.
+func (p *Plot) AddSeries(name string, xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("report: series %q has %d xs but %d ys", name, len(xs), len(ys))
+	}
+	marker := plotMarkers[len(p.series)%len(plotMarkers)]
+	p.series = append(p.series, plotSeries{name: name, xs: xs, ys: ys, marker: marker})
+	return nil
+}
+
+// String renders the chart with y-axis labels and an x-range footer.
+func (p *Plot) String() string {
+	w, h := p.Width, p.Height
+	if w < 16 {
+		w = 16
+	}
+	if h < 4 {
+		h = 4
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	empty := true
+	for _, s := range p.series {
+		for i := range s.xs {
+			empty = false
+			xmin = math.Min(xmin, s.xs[i])
+			xmax = math.Max(xmax, s.xs[i])
+			ymin = math.Min(ymin, s.ys[i])
+			ymax = math.Max(ymax, s.ys[i])
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		b.WriteString(p.Title)
+		b.WriteByte('\n')
+	}
+	if empty {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = make([]rune, w)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for _, s := range p.series {
+		for i := range s.xs {
+			c := int((s.xs[i] - xmin) / (xmax - xmin) * float64(w-1))
+			r := h - 1 - int((s.ys[i]-ymin)/(ymax-ymin)*float64(h-1))
+			grid[r][c] = s.marker
+		}
+	}
+
+	for r := 0; r < h; r++ {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10.3g", ymax)
+		case h - 1:
+			label = fmt.Sprintf("%10.3g", ymin)
+		default:
+			label = strings.Repeat(" ", 10)
+		}
+		b.WriteString(label)
+		b.WriteString(" |")
+		b.WriteString(string(grid[r]))
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 10))
+	b.WriteString(" +")
+	b.WriteString(strings.Repeat("-", w))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%10s  %-.4g%s%.4g\n", "", xmin,
+		strings.Repeat(" ", maxInt(1, w-12)), xmax)
+	for _, s := range p.series {
+		fmt.Fprintf(&b, "%12c %s\n", s.marker, s.name)
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CurvePlot renders a measurement curve's chosen metric against cache
+// size in MB, marking untrusted points as a separate series (the
+// paper's grey regions).
+func CurvePlot(title string, c *analysis.Curve, metricName string) *Plot {
+	var sel func(analysis.Point) float64
+	switch metricName {
+	case "cpi":
+		sel = analysis.CPIOf
+	case "bw":
+		sel = analysis.BandwidthOf
+	case "miss":
+		sel = analysis.MissRatioOf
+	default:
+		sel = analysis.FetchRatioOf
+	}
+	var tx, ty, ux, uy []float64
+	for _, p := range c.Points {
+		x := float64(p.CacheBytes) / (1 << 20)
+		if p.Trusted {
+			tx = append(tx, x)
+			ty = append(ty, sel(p))
+		} else {
+			ux = append(ux, x)
+			uy = append(uy, sel(p))
+		}
+	}
+	pl := NewPlot(title)
+	if len(tx) > 0 {
+		_ = pl.AddSeries("trusted", tx, ty)
+	}
+	if len(ux) > 0 {
+		_ = pl.AddSeries("untrusted (pirate fetch ratio > threshold)", ux, uy)
+	}
+	return pl
+}

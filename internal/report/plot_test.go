@@ -1,0 +1,103 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"cachepirate/internal/analysis"
+)
+
+func TestPlotEmpty(t *testing.T) {
+	p := NewPlot("empty")
+	out := p.String()
+	if !strings.Contains(out, "empty") || !strings.Contains(out, "(no data)") {
+		t.Errorf("empty plot = %q", out)
+	}
+}
+
+func TestPlotSeriesValidation(t *testing.T) {
+	p := NewPlot("t")
+	if err := p.AddSeries("bad", []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched series accepted")
+	}
+}
+
+func TestPlotRendersMarkersAndLabels(t *testing.T) {
+	p := NewPlot("shape")
+	if err := p.AddSeries("up", []float64{0, 1, 2, 3}, []float64{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSeries("down", []float64{0, 1, 2, 3}, []float64{3, 2, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	for _, want := range []string{"shape", "*", "o", "up", "down", "0", "3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 16 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestPlotExtremesLandOnEdges(t *testing.T) {
+	p := NewPlot("")
+	p.Width, p.Height = 20, 5
+	if err := p.AddSeries("s", []float64{0, 10}, []float64{0, 100}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	lines := strings.Split(out, "\n")
+	// Top row holds the max-y point, bottom plot row the min-y point.
+	if !strings.Contains(lines[0], "*") {
+		t.Errorf("max point not on top row: %q", lines[0])
+	}
+	if !strings.Contains(lines[4], "*") {
+		t.Errorf("min point not on bottom row: %q", lines[4])
+	}
+}
+
+func TestPlotFlatSeries(t *testing.T) {
+	p := NewPlot("flat")
+	if err := p.AddSeries("s", []float64{1, 2, 3}, []float64{5, 5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series not rendered:\n%s", out)
+	}
+}
+
+func TestCurvePlotSplitsTrustRegions(t *testing.T) {
+	c := &analysis.Curve{Name: "x", Points: []analysis.Point{
+		{CacheBytes: 1 << 20, FetchRatio: 0.3, Trusted: false},
+		{CacheBytes: 2 << 20, FetchRatio: 0.2, Trusted: true},
+		{CacheBytes: 4 << 20, FetchRatio: 0.1, Trusted: true},
+	}}
+	out := CurvePlot("fr", c, "fetch").String()
+	if !strings.Contains(out, "trusted") || !strings.Contains(out, "untrusted") {
+		t.Errorf("trust regions missing:\n%s", out)
+	}
+	// All-trusted curve renders a single series.
+	for i := range c.Points {
+		c.Points[i].Trusted = true
+	}
+	out = CurvePlot("fr", c, "cpi").String()
+	if strings.Contains(out, "untrusted") {
+		t.Error("phantom untrusted series")
+	}
+}
+
+func TestCurvePlotMetricSelection(t *testing.T) {
+	c := &analysis.Curve{Points: []analysis.Point{
+		{CacheBytes: 1 << 20, CPI: 2, BandwidthGBs: 5, FetchRatio: 0.1, MissRatio: 0.05, Trusted: true},
+		{CacheBytes: 2 << 20, CPI: 1, BandwidthGBs: 3, FetchRatio: 0.05, MissRatio: 0.02, Trusted: true},
+	}}
+	for _, metric := range []string{"cpi", "bw", "fetch", "miss"} {
+		if out := CurvePlot("m", c, metric).String(); !strings.Contains(out, "*") {
+			t.Errorf("metric %q not plotted", metric)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package simulate implements the paper's reference methodology
+// (§III-B): trace-driven cache simulation swept over cache sizes, used
+// to validate that the cache the Pirate leaves to the Target behaves
+// like a real cache of that size.
+//
+// Traces are captured from a workload (the Pin stand-in,
+// internal/trace), then replayed through fresh machines whose L3 is
+// shrunk either by removing ways (how the Pirate actually reduces the
+// cache, §II-A) or by removing sets (the footnote-3 alternative). The
+// replayed Target runs alone — no Pirate — so the sweep is the ground
+// truth the pirate-measured curves are compared against in Fig. 4/6/7.
+package simulate
+
+import (
+	"fmt"
+
+	"cachepirate/internal/analysis"
+	"cachepirate/internal/counters"
+	"cachepirate/internal/machine"
+	"cachepirate/internal/trace"
+	"cachepirate/internal/workload"
+)
+
+// SweepMode selects how the L3 is shrunk between sizes.
+type SweepMode int
+
+const (
+	// ByWays keeps the set count constant and removes ways — the way
+	// cache sharing actually reduces the cache available to one core.
+	ByWays SweepMode = iota
+	// BySets keeps associativity constant and removes sets (the
+	// paper's footnote 3 shows the two differ only for LBM below four
+	// ways).
+	BySets
+)
+
+// Config parameterises a reference sweep.
+type Config struct {
+	// Machine is the template system; its L3 geometry is rescaled per
+	// size. The replayed Target runs on core 0 of a 1-core machine.
+	Machine machine.Config
+	// Sizes are the cache sizes to simulate.
+	Sizes []int64
+	// Mode selects ways- or sets-based shrinking (default ByWays).
+	Mode SweepMode
+	// MLP is the timing hint for the replayed trace (traces carry
+	// none; it does not affect fetch ratios, only CPI).
+	MLP float64
+	// WarmPasses is how many full trace replays warm the cache before
+	// the measured replay (default 1).
+	WarmPasses int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machine.Cores == 0 {
+		c.Machine = machine.NehalemConfig()
+	}
+	c.Machine.Cores = 1
+	if len(c.Sizes) == 0 {
+		step := c.Machine.L3.Size / int64(c.Machine.L3.Ways)
+		for s := step; s <= c.Machine.L3.Size; s += step {
+			c.Sizes = append(c.Sizes, s)
+		}
+	}
+	if c.MLP == 0 {
+		c.MLP = 2
+	}
+	if c.WarmPasses == 0 {
+		c.WarmPasses = 1
+	}
+	return c
+}
+
+// shrink returns the machine config with an L3 of the given size.
+func shrink(mcfg machine.Config, mode SweepMode, size int64) (machine.Config, error) {
+	switch mode {
+	case ByWays:
+		waySize := mcfg.L3.Size / int64(mcfg.L3.Ways)
+		if size%waySize != 0 {
+			return mcfg, fmt.Errorf("simulate: size %d not a whole number of ways (way = %d bytes)", size, waySize)
+		}
+		return machine.WithL3Ways(mcfg, int(size/waySize)), nil
+	case BySets:
+		return machine.WithL3Size(mcfg, size), nil
+	}
+	return mcfg, fmt.Errorf("simulate: unknown sweep mode %d", mode)
+}
+
+// Sweep replays tr once per size and returns the reference curve. Each
+// size gets a fresh single-core machine: WarmPasses replays warm the
+// hierarchy, then one replay is measured through the counters.
+func Sweep(cfg Config, tr *trace.Trace) (*analysis.Curve, error) {
+	cfg = cfg.withDefaults()
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("simulate: empty trace")
+	}
+	curve := &analysis.Curve{Name: "reference"}
+	passInstrs := tr.Instructions()
+	for _, size := range cfg.Sizes {
+		mcfg, err := shrink(cfg.Machine, cfg.Mode, size)
+		if err != nil {
+			return nil, err
+		}
+		m, err := machine.New(mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("simulate: size %d: %w", size, err)
+		}
+		gen := workload.NewFromTrace("trace", tr, cfg.MLP, 0)
+		if err := m.Attach(0, gen); err != nil {
+			return nil, err
+		}
+		for w := 0; w < cfg.WarmPasses; w++ {
+			if err := m.RunInstructions(0, passInstrs); err != nil {
+				return nil, err
+			}
+		}
+		pmu := counters.NewPMU(m)
+		pmu.MarkAll()
+		if err := m.RunInstructions(0, passInstrs); err != nil {
+			return nil, err
+		}
+		s := pmu.ReadInterval(0)
+		curve.Points = append(curve.Points, analysis.Point{
+			CacheBytes:   size,
+			CPI:          s.CPI(),
+			BandwidthGBs: s.BandwidthGBs(mcfg.CPU.FreqHz),
+			FetchRatio:   s.FetchRatio(),
+			MissRatio:    s.MissRatio(),
+			Trusted:      true,
+			Samples:      1,
+		})
+	}
+	curve.Sort()
+	return curve, nil
+}
+
+// CaptureTrace records n references from a fresh instance of the
+// workload, optionally skipping the first skip records (the Gprof
+// "start tracing at the hot code" step: the skipped prefix stands in
+// for initialisation code).
+func CaptureTrace(newGen func(seed uint64) workload.Generator, seed uint64, skip, n int) *trace.Trace {
+	src := workload.TraceSource{Gen: newGen(seed)}
+	for i := 0; i < skip; i++ {
+		src.NextRecord()
+	}
+	return trace.Capture(src, n)
+}
+
+// Calibrate shifts the curve's fetch ratios by a constant so its
+// largest-cache point matches baselineFetchRatio — the paper's §III-B1
+// offset correction for cold-start effects and prefetchers that could
+// not be disabled. The curve is modified in place and returned.
+func Calibrate(curve *analysis.Curve, baselineFetchRatio float64) *analysis.Curve {
+	if len(curve.Points) == 0 {
+		return curve
+	}
+	last := curve.Points[len(curve.Points)-1]
+	offset := baselineFetchRatio - last.FetchRatio
+	for i := range curve.Points {
+		curve.Points[i].FetchRatio += offset
+		if curve.Points[i].FetchRatio < 0 {
+			curve.Points[i].FetchRatio = 0
+		}
+	}
+	return curve
+}

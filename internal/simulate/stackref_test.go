@@ -1,0 +1,104 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+
+	"cachepirate/internal/cache"
+	"cachepirate/internal/trace"
+	"cachepirate/internal/workload"
+)
+
+func TestStackModelCurveValidation(t *testing.T) {
+	tr := CaptureTrace(randFactory(32<<10), 1, 0, 1000)
+	if _, err := StackModelCurve(&trace.Trace{}, []int64{1024}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := StackModelCurve(tr, nil); err == nil {
+		t.Error("no sizes accepted")
+	}
+	if _, err := StackModelCurve(tr, []int64{0}); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestStackModelFetchEqualsMiss(t *testing.T) {
+	tr := CaptureTrace(randFactory(32<<10), 1, 0, 5000)
+	c, err := StackModelCurve(tr, []int64{8 << 10, 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Points {
+		if p.FetchRatio != p.MissRatio {
+			t.Errorf("analytical model must have fetch == miss: %+v", p)
+		}
+	}
+}
+
+func TestStackModelMonotone(t *testing.T) {
+	tr := CaptureTrace(randFactory(64<<10), 3, 0, 30000)
+	sizes := []int64{8 << 10, 16 << 10, 32 << 10, 64 << 10}
+	c, err := StackModelCurve(tr, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(c.Points); i++ {
+		if c.Points[i].MissRatio > c.Points[i-1].MissRatio+1e-12 {
+			t.Errorf("stack model not monotone: %g -> %g",
+				c.Points[i-1].MissRatio, c.Points[i].MissRatio)
+		}
+	}
+}
+
+// TestStackModelMatchesLRUSimulatorOnRandom: for uniform random
+// accesses the fully-associative stack model and the 16-way LRU
+// simulator must agree closely (Fig. 4a's "any model works" case).
+func TestStackModelMatchesLRUSimulatorOnRandom(t *testing.T) {
+	tr := CaptureTrace(randFactory(96<<10), 1, 0, 40000)
+	sizes := []int64{16 << 10, 32 << 10, 48 << 10, 64 << 10}
+
+	mcfg := smallMachine()
+	mcfg.L3.Policy = cache.LRU
+	sim, err := Sweep(Config{Machine: mcfg, Sizes: sizes, Mode: BySets, WarmPasses: 1}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, err := StackModelCurve(tr, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sizes {
+		d := math.Abs(sim.Points[i].MissRatio - stack.Points[i].MissRatio)
+		if d > 0.08 {
+			t.Errorf("size %d: simulator %.3f vs stack model %.3f",
+				sizes[i], sim.Points[i].MissRatio, stack.Points[i].MissRatio)
+		}
+	}
+}
+
+// TestStackModelDivergesFromNehalemOnSequential: cyclic over-capacity
+// scans thrash under LRU (what the stack model predicts) but not under
+// the accessed-bit policy — the Fig. 4b/4c trap for analytical models.
+func TestStackModelDivergesFromNehalemOnSequential(t *testing.T) {
+	seqFactory := func(seed uint64) workload.Generator {
+		return workload.NewSequential(workload.SequentialConfig{Name: "s", Span: 96 << 10, Elem: 64})
+	}
+	tr := CaptureTrace(seqFactory, 1, 0, 30000)
+	sizes := []int64{64 << 10}
+
+	neh, err := Sweep(Config{Machine: smallMachine(), Sizes: sizes, WarmPasses: 1}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, err := StackModelCurve(tr, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stack.Points[0].MissRatio < 0.95 {
+		t.Errorf("stack model should predict thrash, got %.3f", stack.Points[0].MissRatio)
+	}
+	if neh.Points[0].FetchRatio >= stack.Points[0].MissRatio {
+		t.Errorf("Nehalem policy (%.3f) should beat the LRU stack model (%.3f) on scans",
+			neh.Points[0].FetchRatio, stack.Points[0].MissRatio)
+	}
+}

@@ -1,0 +1,23 @@
+package stackdist
+
+import (
+	"testing"
+
+	"cachepirate/internal/trace"
+	"cachepirate/internal/workload"
+)
+
+// mustSpec fetches a suite benchmark or fails the test.
+func mustSpec(t *testing.T, name string) workload.Spec {
+	t.Helper()
+	s, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("benchmark %q missing from suite", name)
+	}
+	return s
+}
+
+// traceSourceOf adapts a generator for capture.
+func traceSourceOf(g workload.Generator) trace.Source {
+	return workload.TraceSource{Gen: g}
+}

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead asserts the decoder never panics or over-allocates on
+// arbitrary input — it must either parse or return an error. Run with
+// `go test -fuzz FuzzRead ./internal/trace` for a live campaign; the
+// seed corpus runs as a normal test.
+func FuzzRead(f *testing.F) {
+	good := &Trace{Records: []Record{{NInstr: 3, Addr: 0x1240, Write: true}, {Addr: 64}}}
+	var buf bytes.Buffer
+	if err := good.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("CPTR1\n"))
+	f.Add([]byte("CPTR1\n\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parsed traces must round-trip.
+		var out bytes.Buffer
+		if err := tr.Write(&out); err != nil {
+			t.Fatalf("re-encode of parsed trace failed: %v", err)
+		}
+		tr2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if tr2.Len() != tr.Len() {
+			t.Fatalf("round trip changed length %d -> %d", tr.Len(), tr2.Len())
+		}
+	})
+}

@@ -1,0 +1,184 @@
+// Package trace provides the address-trace substrate the paper's
+// reference methodology needs (§III-B1): a compact binary trace format,
+// capture from any record source with start/stop markers (standing in
+// for Pin's "attach at instruction address"), and replay.
+//
+// The encoding is a varint stream: per record, the instruction gap
+// since the previous record, the zig-zag delta of the line-granular
+// address, and a read/write flag folded into the low bit of the gap.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Record is one memory reference: NInstr non-memory instructions
+// executed since the previous record, then one access to Addr.
+type Record struct {
+	NInstr uint32
+	Addr   uint64
+	Write  bool
+}
+
+// Trace is an in-memory address trace.
+type Trace struct {
+	Records []Record
+}
+
+// Len returns the number of records.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// Instructions returns the total instruction count the trace
+// represents (each record is NInstr plain instructions + 1 access).
+func (t *Trace) Instructions() uint64 {
+	var n uint64
+	for _, r := range t.Records {
+		n += uint64(r.NInstr) + 1
+	}
+	return n
+}
+
+// Source produces records one at a time; workload generators adapt to
+// this interface for capture.
+type Source interface {
+	NextRecord() Record
+}
+
+// Capture pulls n records from src into a Trace. It is the simulated
+// analogue of attaching Pin at a hot-code marker and tracing a fixed
+// number of memory accesses.
+func Capture(src Source, n int) *Trace {
+	t := &Trace{Records: make([]Record, 0, n)}
+	for i := 0; i < n; i++ {
+		t.Records = append(t.Records, src.NextRecord())
+	}
+	return t
+}
+
+const magic = "CPTR1\n"
+
+// Write encodes the trace to w.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(t.Records))); err != nil {
+		return err
+	}
+	var prevLine uint64
+	for _, r := range t.Records {
+		// gap<<1 | write
+		head := uint64(r.NInstr) << 1
+		if r.Write {
+			head |= 1
+		}
+		if err := writeUvarint(head); err != nil {
+			return err
+		}
+		line := r.Addr >> 6 // encode at line granularity plus offset
+		delta := int64(line) - int64(prevLine)
+		if err := writeUvarint(zigzag(delta)); err != nil {
+			return err
+		}
+		if err := writeUvarint(r.Addr & 63); err != nil {
+			return err
+		}
+		prevLine = line
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	const maxRecords = 1 << 32
+	if n > maxRecords {
+		return nil, fmt.Errorf("trace: unreasonable record count %d", n)
+	}
+	t := &Trace{Records: make([]Record, 0, n)}
+	var prevLine uint64
+	for i := uint64(0); i < n; i++ {
+		h, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d head: %w", i, err)
+		}
+		zd, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d delta: %w", i, err)
+		}
+		off, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d offset: %w", i, err)
+		}
+		if off > 63 {
+			return nil, fmt.Errorf("trace: record %d offset %d out of range", i, off)
+		}
+		line := uint64(int64(prevLine) + unzigzag(zd))
+		prevLine = line
+		t.Records = append(t.Records, Record{
+			NInstr: uint32(h >> 1),
+			Addr:   line<<6 | off,
+			Write:  h&1 == 1,
+		})
+	}
+	return t, nil
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Replayer replays a trace as a Source, optionally looping.
+type Replayer struct {
+	t    *Trace
+	pos  int
+	Loop bool
+}
+
+// NewReplayer builds a replayer over t. With Loop set it restarts from
+// the beginning after the last record; otherwise NextRecord panics past
+// the end.
+func NewReplayer(t *Trace, loop bool) *Replayer {
+	return &Replayer{t: t, Loop: loop}
+}
+
+// NextRecord returns the next record.
+func (r *Replayer) NextRecord() Record {
+	if r.pos >= len(r.t.Records) {
+		if !r.Loop {
+			panic("trace: replay past end of non-looping trace")
+		}
+		r.pos = 0
+	}
+	rec := r.t.Records[r.pos]
+	r.pos++
+	return rec
+}
+
+// Exhausted reports whether a non-looping replayer has consumed every
+// record.
+func (r *Replayer) Exhausted() bool { return !r.Loop && r.pos >= len(r.t.Records) }
+
+// Reset rewinds the replayer.
+func (r *Replayer) Reset() { r.pos = 0 }

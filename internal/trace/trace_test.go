@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	tr := &Trace{}
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("round-tripped empty trace has %d records", got.Len())
+	}
+}
+
+func TestRoundTripKnown(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{NInstr: 0, Addr: 0, Write: false},
+		{NInstr: 10, Addr: 0x1000, Write: true},
+		{NInstr: 3, Addr: 0xFFF8, Write: false},       // non-zero line offset
+		{NInstr: 0, Addr: 0x1000, Write: false},       // backwards delta
+		{NInstr: 1 << 20, Addr: 1 << 40, Write: true}, // large values
+	}}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("record count %d != %d", len(got.Records), len(tr.Records))
+	}
+	for i := range tr.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Errorf("record %d: %+v != %+v", i, got.Records[i], tr.Records[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(nis []uint32, addrs []uint64, writes []bool) bool {
+		n := len(nis)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(writes) < n {
+			n = len(writes)
+		}
+		tr := &Trace{}
+		for i := 0; i < n; i++ {
+			tr.Records = append(tr.Records, Record{
+				NInstr: nis[i] & 0x7FFFFFFF, // keep head varint in uint64 after <<1
+				Addr:   addrs[i] & ((1 << 48) - 1),
+				Write:  writes[i],
+			})
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Records) != len(tr.Records) {
+			return false
+		}
+		for i := range tr.Records {
+			if got.Records[i] != tr.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOTATRACE")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	tr := &Trace{Records: []Record{{NInstr: 5, Addr: 0x40}}}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for cut := 1; cut < len(b); cut++ {
+		if _, err := Read(bytes.NewReader(b[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestInstructions(t *testing.T) {
+	tr := &Trace{Records: []Record{{NInstr: 9}, {NInstr: 0}, {NInstr: 5}}}
+	if got := tr.Instructions(); got != 17 { // 9+1 + 0+1 + 5+1
+		t.Errorf("Instructions = %d, want 17", got)
+	}
+}
+
+// seqSource emits line-strided sequential records.
+type seqSource struct{ next uint64 }
+
+func (s *seqSource) NextRecord() Record {
+	r := Record{NInstr: 2, Addr: s.next}
+	s.next += 64
+	return r
+}
+
+func TestCapture(t *testing.T) {
+	tr := Capture(&seqSource{}, 100)
+	if tr.Len() != 100 {
+		t.Fatalf("captured %d records", tr.Len())
+	}
+	if tr.Records[99].Addr != 99*64 {
+		t.Errorf("last addr = %#x", tr.Records[99].Addr)
+	}
+}
+
+func TestReplayerLoop(t *testing.T) {
+	tr := Capture(&seqSource{}, 3)
+	r := NewReplayer(tr, true)
+	var addrs []uint64
+	for i := 0; i < 7; i++ {
+		addrs = append(addrs, r.NextRecord().Addr)
+	}
+	want := []uint64{0, 64, 128, 0, 64, 128, 0}
+	for i := range want {
+		if addrs[i] != want[i] {
+			t.Fatalf("loop replay addr[%d] = %d, want %d", i, addrs[i], want[i])
+		}
+	}
+}
+
+func TestReplayerNonLoop(t *testing.T) {
+	tr := Capture(&seqSource{}, 2)
+	r := NewReplayer(tr, false)
+	r.NextRecord()
+	if r.Exhausted() {
+		t.Error("exhausted too early")
+	}
+	r.NextRecord()
+	if !r.Exhausted() {
+		t.Error("not exhausted after last record")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("replay past end did not panic")
+		}
+	}()
+	r.NextRecord()
+}
+
+func TestReplayerReset(t *testing.T) {
+	tr := Capture(&seqSource{}, 2)
+	r := NewReplayer(tr, false)
+	r.NextRecord()
+	r.NextRecord()
+	r.Reset()
+	if r.Exhausted() {
+		t.Error("exhausted after reset")
+	}
+	if got := r.NextRecord().Addr; got != 0 {
+		t.Errorf("first record after reset = %d", got)
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40)} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag round-trip %d -> %d", v, got)
+		}
+	}
+}

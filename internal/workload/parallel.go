@@ -1,0 +1,128 @@
+package workload
+
+import "fmt"
+
+// ParallelConfig describes a data-parallel multithreaded job for the
+// shared-address-space machine mode (machine.AttachShared): each rank
+// sweeps its own band of a shared grid, touches halo strips shared
+// with its neighbour rank, and reads/writes a global state region.
+// The halo and state traffic is what generates coherence activity
+// (remote invalidations) when ranks co-run.
+type ParallelConfig struct {
+	Name string
+	// Ranks is the number of threads (one generator per rank).
+	Ranks int
+	// GridBytes is the total shared grid; each rank owns
+	// GridBytes/Ranks of it.
+	GridBytes int64
+	// HaloBytes is the strip at each band boundary that both
+	// neighbouring ranks touch (default 64KB).
+	HaloBytes int64
+	// StateBytes is the global shared-state region every rank hits
+	// with Zipf skew (default 256KB).
+	StateBytes int64
+	// NInstr is the per-access instruction gap (default 6).
+	NInstr uint32
+	// WriteFrac is the write fraction of halo and state traffic
+	// (default 0.3) — writes are what trigger invalidations.
+	WriteFrac float64
+	// MLP is the overlap hint (default 4).
+	MLP float64
+	// Seed decorrelates the ranks' random components.
+	Seed uint64
+}
+
+func (c ParallelConfig) withDefaults() ParallelConfig {
+	if c.HaloBytes == 0 {
+		c.HaloBytes = 64 * KB
+	}
+	if c.StateBytes == 0 {
+		c.StateBytes = 256 * KB
+	}
+	if c.NInstr == 0 {
+		c.NInstr = 6
+	}
+	if c.WriteFrac == 0 {
+		c.WriteFrac = 0.3
+	}
+	if c.MLP == 0 {
+		c.MLP = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// NewParallel builds one generator per rank over a single shared
+// address layout: [grid | state]. Attach rank i's generator with
+// machine.AttachShared using one group id for all ranks.
+func NewParallel(cfg ParallelConfig) ([]Generator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("workload: parallel job needs ranks, got %d", cfg.Ranks)
+	}
+	band := cfg.GridBytes / int64(cfg.Ranks)
+	if band <= 0 {
+		return nil, fmt.Errorf("workload: grid %d too small for %d ranks", cfg.GridBytes, cfg.Ranks)
+	}
+	if cfg.HaloBytes > band {
+		return nil, fmt.Errorf("workload: halo %d larger than a band (%d)", cfg.HaloBytes, band)
+	}
+	stateBase := uint64(cfg.GridBytes)
+
+	gens := make([]Generator, cfg.Ranks)
+	for rank := 0; rank < cfg.Ranks; rank++ {
+		bandBase := uint64(rank) * uint64(band)
+		comps := []Component{
+			// The rank's own band: a smooth sweep plus a Zipf reuse
+			// window (a blocked sweep would alternate cold and hot
+			// passes on the measurement-interval timescale and make
+			// curves noisy).
+			{Gen: NewSequential(SequentialConfig{
+				Name: fmt.Sprintf("%s.band%d", cfg.Name, rank),
+				Base: bandBase, Span: band,
+				NInstr: cfg.NInstr, WriteFrac: cfg.WriteFrac / 2, MLP: cfg.MLP,
+			}), Weight: 0.25},
+			{Gen: NewHotCold(HotColdConfig{
+				Name: fmt.Sprintf("%s.reuse%d", cfg.Name, rank),
+				Base: bandBase, Span: minI64(band, 2*MB), Skew: 0.55,
+				NInstr: cfg.NInstr, WriteFrac: cfg.WriteFrac / 2, MLP: cfg.MLP,
+				Seed: cfg.Seed + uint64(rank)*31 + 3,
+			}), Weight: 0.30},
+			// Global shared state, write-heavy and hot: the coherence
+			// hot spot.
+			{Gen: NewHotCold(HotColdConfig{
+				Name: fmt.Sprintf("%s.state%d", cfg.Name, rank),
+				Base: stateBase, Span: cfg.StateBytes, Skew: 0.8,
+				NInstr: cfg.NInstr, WriteFrac: cfg.WriteFrac, MLP: cfg.MLP,
+				Seed: cfg.Seed + uint64(rank)*31 + 1,
+			}), Weight: 0.25},
+		}
+		// Halo strip shared with the next rank (the strip straddles
+		// the upper band boundary; the last rank wraps to the first
+		// boundary so every rank has one).
+		boundary := (uint64(rank+1) % uint64(cfg.Ranks)) * uint64(band)
+		haloBase := boundary
+		if haloBase >= uint64(cfg.HaloBytes)/2 {
+			haloBase -= uint64(cfg.HaloBytes) / 2
+		}
+		comps = append(comps, Component{Gen: NewRandomAccess(RandomConfig{
+			Name: fmt.Sprintf("%s.halo%d", cfg.Name, rank),
+			Base: haloBase, Span: cfg.HaloBytes,
+			NInstr: cfg.NInstr, WriteFrac: cfg.WriteFrac, MLP: cfg.MLP,
+			Seed: cfg.Seed + uint64(rank)*31 + 2,
+		}), Weight: 0.20})
+
+		gens[rank] = NewMix(fmt.Sprintf("%s.rank%d", cfg.Name, rank),
+			cfg.Seed+uint64(rank)*31, comps...)
+	}
+	return gens, nil
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

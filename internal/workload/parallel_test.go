@@ -1,0 +1,111 @@
+package workload
+
+import "testing"
+
+func TestNewParallelValidation(t *testing.T) {
+	if _, err := NewParallel(ParallelConfig{Name: "p", Ranks: 0, GridBytes: 1 << 20}); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if _, err := NewParallel(ParallelConfig{Name: "p", Ranks: 4, GridBytes: 2}); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+	if _, err := NewParallel(ParallelConfig{Name: "p", Ranks: 2, GridBytes: 256 * KB, HaloBytes: 1 << 20}); err == nil {
+		t.Error("halo larger than band accepted")
+	}
+}
+
+func TestNewParallelRankCount(t *testing.T) {
+	gens, err := NewParallel(ParallelConfig{Name: "p", Ranks: 3, GridBytes: 3 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 {
+		t.Fatalf("got %d generators", len(gens))
+	}
+	for i, g := range gens {
+		if g.MLP() < 1 {
+			t.Errorf("rank %d MLP %g", i, g.MLP())
+		}
+		for j := 0; j < 100; j++ {
+			g.Next() // must not panic
+		}
+	}
+}
+
+func TestNewParallelBandsAreDisjointButHalosOverlap(t *testing.T) {
+	const grid = 2 << 20
+	gens, err := NewParallel(ParallelConfig{
+		Name: "p", Ranks: 2, GridBytes: grid, HaloBytes: 64 * KB, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched := make([]map[uint64]bool, 2)
+	for i, g := range gens {
+		touched[i] = map[uint64]bool{}
+		for j := 0; j < 60000; j++ {
+			op := g.Next()
+			if op.Addr < grid { // grid addresses only (exclude state region)
+				touched[i][op.Addr>>6] = true
+			}
+		}
+	}
+	// Some lines must be shared (the halos), but the bulk must not.
+	shared, total := 0, 0
+	for l := range touched[0] {
+		total++
+		if touched[1][l] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Error("ranks share no grid lines: halos missing")
+	}
+	if shared*2 > total {
+		t.Errorf("ranks share %d/%d grid lines: bands not disjoint", shared, total)
+	}
+}
+
+func TestNewParallelStateIsShared(t *testing.T) {
+	const grid = 1 << 20
+	gens, err := NewParallel(ParallelConfig{
+		Name: "p", Ranks: 2, GridBytes: grid, StateBytes: 64 * KB, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateTouched := func(g Generator) map[uint64]bool {
+		m := map[uint64]bool{}
+		for j := 0; j < 40000; j++ {
+			op := g.Next()
+			if op.Addr >= grid {
+				m[op.Addr>>6] = true
+			}
+		}
+		return m
+	}
+	a, b := stateTouched(gens[0]), stateTouched(gens[1])
+	common := 0
+	for l := range a {
+		if b[l] {
+			common++
+		}
+	}
+	if common == 0 {
+		t.Error("ranks do not share the state region")
+	}
+}
+
+func TestNewParallelWritesPresent(t *testing.T) {
+	gens, err := NewParallel(ParallelConfig{Name: "p", Ranks: 2, GridBytes: 1 << 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := 0
+	for j := 0; j < 20000; j++ {
+		if gens[0].Next().Write {
+			writes++
+		}
+	}
+	if writes == 0 {
+		t.Error("parallel workload performs no writes: no coherence traffic possible")
+	}
+}

@@ -1,0 +1,486 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MB is a size constant for suite configuration.
+const MB = 1 << 20
+
+// KB is a size constant for suite configuration.
+const KB = 1 << 10
+
+// Spec describes one benchmark of the suite: a named factory plus the
+// qualitative properties the experiments rely on.
+type Spec struct {
+	Name        string
+	Description string
+	// Paper names the SPEC application whose memory behaviour this
+	// synthetic mimics (or "micro"/"cigar").
+	Paper string
+	// HardToStealFrom marks the Table II applications that fight the
+	// Pirate hardest (high L3 access rate).
+	HardToStealFrom bool
+	// New builds a fresh generator; the same seed gives the same
+	// stream.
+	New func(seed uint64) Generator
+}
+
+// suite is the registry, initialised below and kept sorted by name.
+var suite []Spec
+
+// Suite returns the full benchmark registry (a copy).
+func Suite() []Spec {
+	out := make([]Spec, len(suite))
+	copy(out, suite)
+	return out
+}
+
+// ByName looks up a spec.
+func ByName(name string) (Spec, bool) {
+	for _, s := range suite {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// MustByName is ByName but panics on unknown names.
+func MustByName(name string) Spec {
+	s, ok := ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("workload: unknown benchmark %q", name))
+	}
+	return s
+}
+
+// Names returns every benchmark name, sorted.
+func Names() []string {
+	var n []string
+	for _, s := range suite {
+		n = append(n, s.Name)
+	}
+	return n
+}
+
+func register(s Spec) {
+	if _, dup := ByName(s.Name); dup {
+		panic("workload: duplicate benchmark " + s.Name)
+	}
+	suite = append(suite, s)
+	sort.Slice(suite, func(i, j int) bool { return suite[i].Name < suite[j].Name })
+}
+
+// compute builds a small L1/L2-resident sequential component standing
+// in for an application's compute-dominated accesses.
+func compute(name string, base uint64, span int64, nInstr uint32) *Sequential {
+	return NewSequential(SequentialConfig{Name: name, Base: base, Span: span, Elem: LineSize, NInstr: nInstr, MLP: 4})
+}
+
+// The suite below is calibrated against the qualitative targets the
+// paper reports (Fig. 1/2/6/8, Table II): per-benchmark fetch ratios of
+// 0-12%, CPIs of ~0.5-5, knees at the documented working-set sizes, and
+// the Table II applications generating the highest L3 fill rates.
+// Component weights are access fractions: a weight-w always-missing
+// component contributes ~w to the fetch ratio; a component over a
+// working set of S bytes contributes only below S of available cache.
+func init() {
+	register(Spec{
+		Name:  "omnetpp",
+		Paper: "471.omnetpp",
+		Description: "discrete-event simulator: pointer-heavy heap traversal, " +
+			"latency-bound (MLP~1), CPI rises ~20% when its shared cache shrinks to 2MB (Fig. 1)",
+		New: func(seed uint64) Generator {
+			return NewMix("omnetpp", seed,
+				Component{Gen: NewHotCold(HotColdConfig{Name: "heap", Span: 4 * MB, Skew: 0.5, NInstr: 4, MLP: 1.2, Seed: seed + 1}), Weight: 0.08},
+				Component{Gen: NewPointerChase(ChaseConfig{Name: "cold", Base: 1 << 36, Span: 48 * MB, NInstr: 4, WriteFrac: 0.1, Seed: seed + 2}), Weight: 0.008},
+				Component{Gen: NewHotCold(HotColdConfig{Name: "events", Base: 1 << 34, Span: 1 * MB, Skew: 0.8, NInstr: 4, MLP: 1.5, Seed: seed + 3}), Weight: 0.25},
+				Component{Gen: compute("msgpool", 1<<35, 128*KB, 4), Weight: 0.662},
+			)
+		},
+	})
+	register(Spec{
+		Name:  "lbm",
+		Paper: "470.lbm",
+		Description: "lattice-Boltzmann stencil: streaming with high MLP and heavy " +
+			"prefetching (large fetch/miss gap), flat CPI, bandwidth rises as cache shrinks (Fig. 2, 8, 9)",
+		New: func(seed uint64) Generator {
+			return NewMix("lbm", seed,
+				Component{Gen: NewSequential(SequentialConfig{Name: "sweep", Span: 192 * MB, Elem: 8, NInstr: 12, WriteFrac: 0.4, MLP: 6}), Weight: 0.74},
+				Component{Gen: NewHotCold(HotColdConfig{Name: "reuse", Base: 1 << 34, Span: 3 * MB, Skew: 0.55, NInstr: 12, MLP: 6, Seed: seed + 1}), Weight: 0.06},
+				Component{Gen: compute("collide", 1<<35, 128*KB, 12), Weight: 0.20},
+			)
+		},
+	})
+	register(Spec{
+		Name:            "mcf",
+		Paper:           "429.mcf",
+		HardToStealFrom: true,
+		Description: "network simplex: random access over a large graph, highest CPI " +
+			"and miss ratio of the suite, fights back for cache (Table II: 5.5/6.5MB stolen)",
+		New: func(seed uint64) Generator {
+			return NewMix("mcf", seed,
+				Component{Gen: NewRandomAccess(RandomConfig{Name: "arcs-cold", Base: 1 << 36, Span: 96 * MB, NInstr: 2, WriteFrac: 0.1, MLP: 1.6, Seed: seed + 1}), Weight: 0.07},
+				Component{Gen: NewRandomAccess(RandomConfig{Name: "arcs-hot", Span: 6 * MB, NInstr: 2, WriteFrac: 0.15, MLP: 1.6, Seed: seed + 2}), Weight: 0.025},
+				Component{Gen: NewHotCold(HotColdConfig{Name: "nodes", Base: 1 << 34, Span: 768 * KB, Skew: 0.9, NInstr: 2, Seed: seed + 3}), Weight: 0.22},
+				Component{Gen: compute("pricing", 1<<35, 64*KB, 2), Weight: 0.685},
+			)
+		},
+	})
+	register(Spec{
+		Name:            "milc",
+		Paper:           "433.milc",
+		HardToStealFrom: true,
+		Description: "lattice QCD: strided sweeps over large fields at a high access " +
+			"rate (Table II: 5.5/6.0MB stolen)",
+		New: func(seed uint64) Generator {
+			return NewMix("milc", seed,
+				Component{Gen: NewSequential(SequentialConfig{Name: "fields", Span: 128 * MB, Elem: 16, NInstr: 2, WriteFrac: 0.3, MLP: 5}), Weight: 0.20},
+				Component{Gen: NewBlockedStream(BlockedConfig{Name: "su3", Base: 1 << 34, Span: 64 * MB, ChunkSize: 4 * MB, Passes: 4, Elem: 16, NInstr: 2, MLP: 5}), Weight: 0.10},
+				Component{Gen: NewHotCold(HotColdConfig{Name: "links", Base: 1 << 35, Span: 512 * KB, Skew: 0.8, NInstr: 2, Seed: seed + 1}), Weight: 0.25},
+				Component{Gen: compute("su3math", 1<<36, 64*KB, 3), Weight: 0.45},
+			)
+		},
+	})
+	register(Spec{
+		Name:            "soplex",
+		Paper:           "450.soplex",
+		HardToStealFrom: true,
+		Description: "LP simplex solver: sparse-matrix sweeps mixed with random " +
+			"column access (Table II: 5.5/6.0MB stolen)",
+		New: func(seed uint64) Generator {
+			return NewMix("soplex", seed,
+				Component{Gen: NewSequential(SequentialConfig{Name: "rows", Span: 64 * MB, Elem: 8, NInstr: 3, MLP: 4}), Weight: 0.30},
+				Component{Gen: NewRandomAccess(RandomConfig{Name: "cols", Base: 1 << 34, Span: 5 * MB, NInstr: 3, WriteFrac: 0.2, MLP: 2, Seed: seed + 1}), Weight: 0.03},
+				Component{Gen: NewHotCold(HotColdConfig{Name: "basis", Base: 1 << 35, Span: 1 * MB, Skew: 0.8, NInstr: 3, Seed: seed + 2}), Weight: 0.27},
+				Component{Gen: compute("ratio-test", 1<<36, 96*KB, 3), Weight: 0.40},
+			)
+		},
+	})
+	register(Spec{
+		Name:            "libquantum",
+		Paper:           "462.libquantum",
+		HardToStealFrom: true,
+		Description: "quantum simulator: pure high-rate sequential streaming, low CPI, " +
+			"the suite's highest bandwidth; the one application the Pirate cannot steal 6MB from (Table II: 5.0/5.0MB)",
+		New: func(seed uint64) Generator {
+			return NewSequential(SequentialConfig{Name: "libquantum", Span: 32 * MB, Elem: 8, NInstr: 7, WriteFrac: 0.5, MLP: 8})
+		},
+	})
+	register(Spec{
+		Name:  "gcc",
+		Paper: "403.gcc",
+		Description: "compiler: strongly phased behaviour (the paper's largest " +
+			"reference error and the 23% dynamic-interval error in Table III)",
+		New: func(seed uint64) Generator {
+			parse := NewMix("parse", seed+10,
+				Component{Gen: NewHotCold(HotColdConfig{Name: "symtab", Span: 1 * MB, Skew: 0.7, NInstr: 4, Seed: seed + 1}), Weight: 0.35},
+				Component{Gen: compute("lex", 1<<35, 96*KB, 4), Weight: 0.65},
+			)
+			rtl := NewMix("rtl", seed+20,
+				Component{Gen: NewRandomAccess(RandomConfig{Name: "insns", Base: 1 << 34, Span: 5 * MB, NInstr: 3, WriteFrac: 0.25, MLP: 2, Seed: seed + 2}), Weight: 0.06},
+				Component{Gen: NewHotCold(HotColdConfig{Name: "regs", Base: 1 << 36, Span: 768 * KB, Skew: 0.8, NInstr: 3, Seed: seed + 3}), Weight: 0.34},
+				Component{Gen: compute("opt", 1<<37, 64*KB, 4), Weight: 0.60},
+			)
+			emit := NewMix("emit", seed+30,
+				Component{Gen: NewSequential(SequentialConfig{Name: "asm-out", Base: 1 << 38, Span: 24 * MB, Elem: 32, NInstr: 4, WriteFrac: 0.5, MLP: 4}), Weight: 0.04},
+				Component{Gen: compute("fmt", 1<<39, 64*KB, 4), Weight: 0.96},
+			)
+			return NewPhased("gcc",
+				Phase{Gen: parse, Instrs: 3_000_000},
+				Phase{Gen: rtl, Instrs: 2_000_000},
+				Phase{Gen: emit, Instrs: 1_500_000},
+			)
+		},
+	})
+	register(Spec{
+		Name:  "povray",
+		Paper: "453.povray",
+		Description: "ray tracer: compute-bound, fetch ratio essentially zero " +
+			"(the paper's 235% relative / 0.01% absolute error example)",
+		New: func(seed uint64) Generator {
+			return NewComputeBound("povray", 192*KB, 24)
+		},
+	})
+	register(Spec{
+		Name:  "h264ref",
+		Paper: "464.h264ref",
+		Description: "video encoder: compute-bound with small streaming buffers, " +
+			"fetch ratio near zero (134% relative / 0.01% absolute error example)",
+		New: func(seed uint64) Generator {
+			return NewMix("h264ref", seed,
+				Component{Gen: NewComputeBound("me", 256*KB, 16), Weight: 0.995},
+				Component{Gen: NewSequential(SequentialConfig{Name: "frames", Base: 1 << 34, Span: 12 * MB, Elem: 64, NInstr: 16, MLP: 4}), Weight: 0.005},
+			)
+		},
+	})
+	register(Spec{
+		Name:  "bzip2",
+		Paper: "401.bzip2",
+		Description: "compressor: sub-MB reuse windows, lowest bandwidth of the " +
+			"suite (0.01GB/s in Fig. 8), essentially insensitive above 1MB",
+		New: func(seed uint64) Generator {
+			return NewMix("bzip2", seed,
+				Component{Gen: NewHotCold(HotColdConfig{Name: "block", Span: 700 * KB, Skew: 0.6, NInstr: 8, MLP: 3, Seed: seed + 1}), Weight: 0.35},
+				Component{Gen: NewSequential(SequentialConfig{Name: "input", Base: 1 << 34, Span: 32 * MB, Elem: 64, NInstr: 8, MLP: 3}), Weight: 0.002},
+				Component{Gen: compute("huffman", 1<<35, 256*KB, 8), Weight: 0.648},
+			)
+		},
+	})
+	register(Spec{
+		Name:  "gromacs",
+		Paper: "435.gromacs",
+		Description: "molecular dynamics: tiny miss ratio that grows ~10x with less " +
+			"cache yet CPI stays flat down to 1MB — latency-insensitive (Fig. 8)",
+		New: func(seed uint64) Generator {
+			return NewMix("gromacs", seed,
+				Component{Gen: NewBlockedStream(BlockedConfig{Name: "nbrlist", Base: 1 << 34, Span: 32 * MB, ChunkSize: 1536 * KB, Passes: 10, NInstr: 12, MLP: 5}), Weight: 0.0015},
+				Component{Gen: compute("forces", 0, 256*KB, 12), Weight: 0.9985},
+			)
+		},
+	})
+	register(Spec{
+		Name:  "sphinx3",
+		Paper: "482.sphinx3",
+		Description: "speech recognition: CPI rises ~50% and miss ratio ~20x as the " +
+			"cache shrinks — latency-sensitive (Fig. 8)",
+		New: func(seed uint64) Generator {
+			return NewMix("sphinx3", seed,
+				Component{Gen: NewHotCold(HotColdConfig{Name: "gauss", Span: 7 * MB, Skew: 0.45, NInstr: 4, MLP: 1.3, Seed: seed + 1}), Weight: 0.05},
+				Component{Gen: NewPointerChase(ChaseConfig{Name: "lextree", Base: 1 << 34, Span: 2 * MB, NInstr: 4, Seed: seed + 2}), Weight: 0.01},
+				Component{Gen: NewHotCold(HotColdConfig{Name: "senones", Base: 1 << 35, Span: 768 * KB, Skew: 0.8, NInstr: 4, Seed: seed + 3}), Weight: 0.31},
+				Component{Gen: compute("dp", 1<<36, 96*KB, 4), Weight: 0.60},
+			)
+		},
+	})
+	register(Spec{
+		Name:  "calculix",
+		Paper: "454.calculix",
+		Description: "FEM solver: compute-bound, the suite's smallest miss ratio " +
+			"(0.009% in Fig. 8)",
+		New: func(seed uint64) Generator {
+			return NewComputeBound("calculix", 128*KB, 30)
+		},
+	})
+	register(Spec{
+		Name:  "astar",
+		Paper: "473.astar",
+		Description: "path-finding: pointer chasing over a mid-size graph with a " +
+			"cold tail, latency-bound",
+		New: func(seed uint64) Generator {
+			return NewMix("astar", seed,
+				Component{Gen: NewPointerChase(ChaseConfig{Name: "graph", Span: 2 * MB, NInstr: 5, Seed: seed + 1}), Weight: 0.02},
+				Component{Gen: NewRandomAccess(RandomConfig{Name: "open", Base: 1 << 34, Span: 16 * MB, NInstr: 5, WriteFrac: 0.2, MLP: 1.5, Seed: seed + 2}), Weight: 0.008},
+				Component{Gen: NewHotCold(HotColdConfig{Name: "closed", Base: 1 << 35, Span: 1 * MB, Skew: 0.8, NInstr: 5, Seed: seed + 3}), Weight: 0.37},
+				Component{Gen: compute("heur", 1<<36, 64*KB, 5), Weight: 0.602},
+			)
+		},
+	})
+	register(Spec{
+		Name:        "xalancbmk",
+		Paper:       "483.xalancbmk",
+		Description: "XSLT processor: skewed DOM access with moderate streaming output",
+		New: func(seed uint64) Generator {
+			return NewMix("xalancbmk", seed,
+				Component{Gen: NewHotCold(HotColdConfig{Name: "dom", Span: 3 * MB, Skew: 0.75, NInstr: 5, MLP: 1.8, Seed: seed + 1}), Weight: 0.12},
+				Component{Gen: NewSequential(SequentialConfig{Name: "output", Base: 1 << 34, Span: 24 * MB, Elem: 64, NInstr: 5, WriteFrac: 0.6, MLP: 4}), Weight: 0.01},
+				Component{Gen: compute("templates", 1<<35, 128*KB, 5), Weight: 0.87},
+			)
+		},
+	})
+	register(Spec{
+		Name:        "cactusADM",
+		Paper:       "436.cactusADM",
+		Description: "numerical relativity stencil: blocked sweeps with a ~2MB reuse window",
+		New: func(seed uint64) Generator {
+			return NewMix("cactusADM", seed,
+				Component{Gen: NewBlockedStream(BlockedConfig{Name: "grid", Span: 96 * MB, ChunkSize: 2 * MB, Passes: 5, Elem: 16, NInstr: 4, WriteFrac: 0.35, MLP: 5}), Weight: 0.25},
+				Component{Gen: compute("rhs", 1<<34, 128*KB, 4), Weight: 0.75},
+			)
+		},
+	})
+	register(Spec{
+		Name:  "cigar",
+		Paper: "Cigar (genetic algorithm)",
+		Description: "GA case-injected solver: repeated full scans of a 6MB " +
+			"population — the distinctive fetch-ratio jump at exactly 6MB (Fig. 6)",
+		New: func(seed uint64) Generator {
+			return NewMix("cigar", seed,
+				Component{Gen: NewBlockedStream(BlockedConfig{Name: "population", Span: 6 * MB, ChunkSize: 6 * MB, Passes: 1, Elem: 64, NInstr: 3, WriteFrac: 0.2, MLP: 6}), Weight: 0.30},
+				Component{Gen: NewHotCold(HotColdConfig{Name: "fitness", Base: 1 << 34, Span: 256 * KB, Skew: 0.9, NInstr: 3, Seed: seed + 1}), Weight: 0.20},
+				Component{Gen: compute("crossover", 1<<35, 64*KB, 3), Weight: 0.50},
+			)
+		},
+	})
+	register(Spec{
+		Name:  "microseq",
+		Paper: "sequential micro benchmark (Fig. 4b/4c)",
+		Description: "pure sequential scan over 6MB: LRU reference simulation thrashes " +
+			"once less than 6MB is available but the Nehalem policy retains part of the set",
+		New: func(seed uint64) Generator {
+			return NewSequential(SequentialConfig{Name: "microseq", Span: 6 * MB, Elem: 64, NInstr: 2, MLP: 6})
+		},
+	})
+	register(Spec{
+		Name:  "microrand",
+		Paper: "random micro benchmark (Fig. 4a)",
+		Description: "uniform random over 6MB: identical under LRU and Nehalem " +
+			"reference simulation",
+		New: func(seed uint64) Generator {
+			return NewRandomAccess(RandomConfig{Name: "microrand", Span: 6 * MB, NInstr: 2, MLP: 2, Seed: seed})
+		},
+	})
+}
+
+// The second tranche of suite entries covers the rest of the paper's
+// SPEC CPU2006 set with the same calibration conventions as above.
+func init() {
+	register(Spec{
+		Name:  "bwaves",
+		Paper: "410.bwaves",
+		Description: "blast-wave CFD: wide streaming sweeps, bandwidth-heavy with " +
+			"mild cache benefit",
+		New: func(seed uint64) Generator {
+			return NewMix("bwaves", seed,
+				Component{Gen: NewSequential(SequentialConfig{Name: "grid", Span: 160 * MB, Elem: 16, NInstr: 4, WriteFrac: 0.3, MLP: 6}), Weight: 0.28},
+				Component{Gen: NewHotCold(HotColdConfig{Name: "bc", Base: 1 << 34, Span: 2 * MB, Skew: 0.6, NInstr: 4, MLP: 4, Seed: seed + 1}), Weight: 0.10},
+				Component{Gen: compute("flux", 1<<35, 128*KB, 4), Weight: 0.62},
+			)
+		},
+	})
+	register(Spec{
+		Name:        "zeusmp",
+		Paper:       "434.zeusmp",
+		Description: "astrophysical CFD: blocked stencil with a ~1MB reuse window",
+		New: func(seed uint64) Generator {
+			return NewMix("zeusmp", seed,
+				Component{Gen: NewBlockedStream(BlockedConfig{Name: "grid", Span: 64 * MB, ChunkSize: 1 * MB, Passes: 6, Elem: 16, NInstr: 5, WriteFrac: 0.3, MLP: 5}), Weight: 0.18},
+				Component{Gen: compute("sweep", 1<<34, 160*KB, 5), Weight: 0.82},
+			)
+		},
+	})
+	register(Spec{
+		Name:        "leslie3d",
+		Paper:       "437.leslie3d",
+		Description: "turbulence CFD: streaming plus a 2MB reuse window",
+		New: func(seed uint64) Generator {
+			return NewMix("leslie3d", seed,
+				Component{Gen: NewSequential(SequentialConfig{Name: "field", Span: 96 * MB, Elem: 16, NInstr: 5, WriteFrac: 0.35, MLP: 5}), Weight: 0.2},
+				Component{Gen: NewHotCold(HotColdConfig{Name: "halo", Base: 1 << 34, Span: 2 * MB, Skew: 0.55, NInstr: 5, MLP: 5, Seed: seed + 1}), Weight: 0.08},
+				Component{Gen: compute("rhs", 1<<35, 128*KB, 5), Weight: 0.72},
+			)
+		},
+	})
+	register(Spec{
+		Name:  "namd",
+		Paper: "444.namd",
+		Description: "molecular dynamics: compute-bound with small neighbour lists, " +
+			"near-zero fetch ratio",
+		New: func(seed uint64) Generator {
+			return NewMix("namd", seed,
+				Component{Gen: compute("pairlists", 0, 384*KB, 14), Weight: 0.995},
+				Component{Gen: NewSequential(SequentialConfig{Name: "patches", Base: 1 << 34, Span: 8 * MB, Elem: 64, NInstr: 14, MLP: 4}), Weight: 0.005},
+			)
+		},
+	})
+	register(Spec{
+		Name:        "dealII",
+		Paper:       "447.dealII",
+		Description: "adaptive FEM: skewed matrix access over a ~2.5MB working set",
+		New: func(seed uint64) Generator {
+			return NewMix("dealII", seed,
+				Component{Gen: NewHotCold(HotColdConfig{Name: "sparse", Span: 2560 * KB, Skew: 0.6, NInstr: 4, MLP: 2, Seed: seed + 1}), Weight: 0.14},
+				Component{Gen: NewSequential(SequentialConfig{Name: "rhs", Base: 1 << 34, Span: 32 * MB, Elem: 32, NInstr: 4, MLP: 4}), Weight: 0.015},
+				Component{Gen: compute("quad", 1<<35, 96*KB, 4), Weight: 0.845},
+			)
+		},
+	})
+	register(Spec{
+		Name:        "gobmk",
+		Paper:       "445.gobmk",
+		Description: "Go AI: branchy small-footprint search with phased pattern lookups",
+		New: func(seed uint64) Generator {
+			search := NewMix("search", seed+10,
+				Component{Gen: NewHotCold(HotColdConfig{Name: "board", Span: 512 * KB, Skew: 0.8, NInstr: 6, Seed: seed + 1}), Weight: 0.4},
+				Component{Gen: compute("eval", 1<<34, 64*KB, 6), Weight: 0.6},
+			)
+			patterns := NewMix("patterns", seed+20,
+				Component{Gen: NewRandomAccess(RandomConfig{Name: "pattern-db", Base: 1 << 35, Span: 3 * MB, NInstr: 5, MLP: 1.5, Seed: seed + 2}), Weight: 0.05},
+				Component{Gen: compute("match", 1<<36, 96*KB, 5), Weight: 0.95},
+			)
+			return NewPhased("gobmk",
+				Phase{Gen: search, Instrs: 2_500_000},
+				Phase{Gen: patterns, Instrs: 1_500_000},
+			)
+		},
+	})
+	register(Spec{
+		Name:  "hmmer",
+		Paper: "456.hmmer",
+		Description: "profile HMM search: compute-bound dynamic programming over " +
+			"tiny tables, near-zero misses",
+		New: func(seed uint64) Generator {
+			return NewComputeBound("hmmer", 256*KB, 18)
+		},
+	})
+	register(Spec{
+		Name:        "sjeng",
+		Paper:       "458.sjeng",
+		Description: "chess search: latency-bound probes of a ~3MB transposition table",
+		New: func(seed uint64) Generator {
+			return NewMix("sjeng", seed,
+				Component{Gen: NewRandomAccess(RandomConfig{Name: "ttable", Span: 3 * MB, NInstr: 5, WriteFrac: 0.3, MLP: 1.2, Seed: seed + 1}), Weight: 0.03},
+				Component{Gen: NewHotCold(HotColdConfig{Name: "history", Base: 1 << 34, Span: 512 * KB, Skew: 0.85, NInstr: 5, Seed: seed + 2}), Weight: 0.30},
+				Component{Gen: compute("movegen", 1<<35, 64*KB, 5), Weight: 0.67},
+			)
+		},
+	})
+	register(Spec{
+		Name:        "perlbench",
+		Paper:       "400.perlbench",
+		Description: "Perl interpreter: skewed heap traffic with small pointer chains",
+		New: func(seed uint64) Generator {
+			return NewMix("perlbench", seed,
+				Component{Gen: NewHotCold(HotColdConfig{Name: "heap", Span: 1536 * KB, Skew: 0.75, NInstr: 4, MLP: 1.5, Seed: seed + 1}), Weight: 0.30},
+				Component{Gen: NewPointerChase(ChaseConfig{Name: "optree", Base: 1 << 34, Span: 768 * KB, NInstr: 4, Seed: seed + 2}), Weight: 0.02},
+				Component{Gen: compute("runloop", 1<<35, 96*KB, 4), Weight: 0.68},
+			)
+		},
+	})
+	register(Spec{
+		Name:        "GemsFDTD",
+		Paper:       "459.GemsFDTD",
+		Description: "FDTD electromagnetics: heavy streaming with a ~4MB reuse window",
+		New: func(seed uint64) Generator {
+			return NewMix("GemsFDTD", seed,
+				Component{Gen: NewSequential(SequentialConfig{Name: "fields", Span: 128 * MB, Elem: 16, NInstr: 4, WriteFrac: 0.4, MLP: 6}), Weight: 0.25},
+				Component{Gen: NewHotCold(HotColdConfig{Name: "fringe", Base: 1 << 34, Span: 4 * MB, Skew: 0.5, NInstr: 4, MLP: 5, Seed: seed + 1}), Weight: 0.08},
+				Component{Gen: compute("update", 1<<35, 128*KB, 4), Weight: 0.67},
+			)
+		},
+	})
+	register(Spec{
+		Name:        "wrf",
+		Paper:       "481.wrf",
+		Description: "weather model: blocked stencil sweeps with a ~2.5MB window",
+		New: func(seed uint64) Generator {
+			return NewMix("wrf", seed,
+				Component{Gen: NewBlockedStream(BlockedConfig{Name: "tiles", Span: 80 * MB, ChunkSize: 2560 * KB, Passes: 5, Elem: 16, NInstr: 6, WriteFrac: 0.3, MLP: 5}), Weight: 0.12},
+				Component{Gen: compute("physics", 1<<34, 192*KB, 6), Weight: 0.88},
+			)
+		},
+	})
+	register(Spec{
+		Name:        "tonto",
+		Paper:       "465.tonto",
+		Description: "quantum chemistry: compute-bound with moderate integral tables",
+		New: func(seed uint64) Generator {
+			return NewMix("tonto", seed,
+				Component{Gen: NewHotCold(HotColdConfig{Name: "integrals", Span: 1 * MB, Skew: 0.7, NInstr: 10, MLP: 3, Seed: seed + 1}), Weight: 0.15},
+				Component{Gen: compute("scf", 1<<34, 128*KB, 10), Weight: 0.85},
+			)
+		},
+	})
+}
