@@ -6,13 +6,18 @@
 // Usage:
 //
 //	cachesim [-records N] [-skip N] [-policy nehalem|lru|plru|random]
-//	         [-mode ways|sets] [-seed N] [-save FILE] [-load FILE] [-csv] <benchmark>
+//	         [-mode ways|sets] [-seed N] [-save FILE] [-load FILE] [-csv]
+//	         [-j N] <benchmark>
+//
+// The per-size reference simulations fan out across -j workers
+// (default: one per CPU); the curve is identical at any width.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"cachepirate/internal/cache"
 	"cachepirate/internal/machine"
@@ -32,6 +37,7 @@ func main() {
 	load := flag.String("load", "", "replay a trace file instead of capturing")
 	csv := flag.Bool("csv", false, "emit CSV")
 	stack := flag.Bool("stack", false, "also print the analytical stack-distance model's curve")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers across cache sizes (1 = serial)")
 	flag.Parse()
 
 	var pol cache.PolicyKind
@@ -101,7 +107,7 @@ func main() {
 	}
 
 	mcfg := machine.WithL3Policy(machine.NehalemConfigNoPrefetch(), pol)
-	curve, err := simulate.Sweep(simulate.Config{Machine: mcfg, Mode: swMode}, tr)
+	curve, err := simulate.Sweep(simulate.Config{Machine: mcfg, Mode: swMode, Workers: *workers}, tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -4,15 +4,20 @@
 // Usage:
 //
 //	experiments [-quick] [-interval N] [-cycles N] [-trace N]
-//	            [-benchmarks a,b,c] [-seed N] [all|fig1|fig2|fig4|fig6|fig7|fig8|fig9|tab2|tab3|fn5 ...]
+//	            [-benchmarks a,b,c] [-seed N] [-j N]
+//	            [all|fig1|fig2|fig4|fig6|fig7|fig8|fig9|tab2|tab3|fn5 ...]
 //
 // With no experiment arguments it runs everything in paper order.
+// Experiments and their per-benchmark runs fan out across -j workers
+// (default: one per CPU); -j 1 reproduces the serial order exactly,
+// and results are bit-identical at any width.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"cachepirate/internal/experiments"
@@ -25,6 +30,7 @@ func main() {
 	traceRecs := flag.Int("trace", 0, "reference trace length in records (0 = default)")
 	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark override")
 	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for independent runs (1 = serial)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -41,29 +47,28 @@ func main() {
 		Cycles:         *cycles,
 		TraceRecords:   *traceRecs,
 		Seed:           *seed,
+		Workers:        *workers,
 	}
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")
 	}
 
 	ids := flag.Args()
-	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+	if len(ids) == 1 && ids[0] == "all" {
 		ids = nil
-		for _, r := range experiments.All() {
-			ids = append(ids, r.ID)
-		}
 	}
 	for _, id := range ids {
-		r, ok := experiments.ByID(id)
-		if !ok {
+		if _, ok := experiments.ByID(id); !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
 			os.Exit(2)
 		}
-		res, err := r.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
-		}
+	}
+	results, err := experiments.RunAll(opts, ids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, res := range results {
 		fmt.Println(res)
 	}
 }

@@ -7,18 +7,25 @@
 //
 // Usage:
 //
-//	suite [-benchmarks a,b,c] [-instrs N] [-records N] [-seed N]
+//	suite [-benchmarks a,b,c] [-instrs N] [-records N] [-seed N] [-j N]
+//
+// Benchmarks are characterised concurrently across -j workers (default:
+// one per CPU; every benchmark gets fresh machines, so output is
+// identical at any width) and printed in order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"cachepirate/internal/counters"
 	"cachepirate/internal/machine"
 	"cachepirate/internal/report"
+	"cachepirate/internal/runner"
 	"cachepirate/internal/simulate"
 	"cachepirate/internal/stackdist"
 	"cachepirate/internal/workload"
@@ -29,6 +36,7 @@ func main() {
 	instrs := flag.Uint64("instrs", 500_000, "measured instructions per size (after a 4x warm-up)")
 	records := flag.Int("records", 800_000, "trace length for the stack-distance analysis (must cover the largest reuse window at least twice)")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers across benchmarks (1 = serial)")
 	flag.Parse()
 
 	var names []string
@@ -37,60 +45,73 @@ func main() {
 	} else {
 		names = workload.Names()
 	}
-
 	for _, name := range names {
-		spec, ok := workload.ByName(name)
-		if !ok {
+		if _, ok := workload.ByName(name); !ok {
 			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
 			os.Exit(2)
 		}
-		t := report.NewTable(
-			fmt.Sprintf("%s (%s) — solo ground truth\n  %s", spec.Name, spec.Paper, spec.Description),
-			"L3", "CPI", "fetch", "miss", "BW")
-		for _, ways := range []int{1, 2, 4, 8, 16} {
-			mcfg := machine.WithL3Ways(machine.NehalemConfig(), ways)
-			mcfg.Cores = 1
-			m, err := machine.New(mcfg)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if err := m.Attach(0, spec.New(*seed)); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if err := m.RunInstructions(0, *instrs*4); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			pmu := counters.NewPMU(m)
-			pmu.MarkAll()
-			if err := m.RunInstructions(0, *instrs); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			s := pmu.ReadInterval(0)
-			t.Add(report.MB(mcfg.L3.Size), report.F(s.CPI(), 3),
-				report.Pct(s.FetchRatio(), 2), report.Pct(s.MissRatio(), 2),
-				report.GBs(s.BandwidthGBs(mcfg.CPU.FreqHz)))
-		}
-		fmt.Print(t.String())
-
-		tr := simulate.CaptureTrace(spec.New, *seed, 0, *records)
-		h, err := stackdist.Analyze(tr, (16<<20)/64)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		knees := h.WorkingSetKnees(0.05)
-		var ks []string
-		for _, k := range knees {
-			ks = append(ks, report.MB(k))
-		}
-		if len(ks) == 0 {
-			ks = []string{"none above threshold"}
-		}
-		fmt.Printf("  stack-distance working-set knees: %s; cold ratio %s\n\n",
-			strings.Join(ks, ", "), report.Pct(h.ColdRatio(), 1))
 	}
+
+	sections, err := runner.Map(context.Background(), runner.Pool{Workers: *workers}, len(names),
+		func(_ context.Context, i int) (string, error) {
+			return characterise(workload.MustByName(names[i]), *instrs, *records, *seed)
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, s := range sections {
+		fmt.Print(s)
+	}
+}
+
+// characterise renders one benchmark's ground-truth table and
+// stack-distance summary. It builds only fresh machines and
+// generators, so concurrent calls never share simulator state.
+func characterise(spec workload.Spec, instrs uint64, records int, seed uint64) (string, error) {
+	var b strings.Builder
+	t := report.NewTable(
+		fmt.Sprintf("%s (%s) — solo ground truth\n  %s", spec.Name, spec.Paper, spec.Description),
+		"L3", "CPI", "fetch", "miss", "BW")
+	for _, ways := range []int{1, 2, 4, 8, 16} {
+		mcfg := machine.WithL3Ways(machine.NehalemConfig(), ways)
+		mcfg.Cores = 1
+		m, err := machine.New(mcfg)
+		if err != nil {
+			return "", err
+		}
+		if err := m.Attach(0, spec.New(seed)); err != nil {
+			return "", err
+		}
+		if err := m.RunInstructions(0, instrs*4); err != nil {
+			return "", err
+		}
+		pmu := counters.NewPMU(m)
+		pmu.MarkAll()
+		if err := m.RunInstructions(0, instrs); err != nil {
+			return "", err
+		}
+		s := pmu.ReadInterval(0)
+		t.Add(report.MB(mcfg.L3.Size), report.F(s.CPI(), 3),
+			report.Pct(s.FetchRatio(), 2), report.Pct(s.MissRatio(), 2),
+			report.GBs(s.BandwidthGBs(mcfg.CPU.FreqHz)))
+	}
+	b.WriteString(t.String())
+
+	tr := simulate.CaptureTrace(spec.New, seed, 0, records)
+	h, err := stackdist.Analyze(tr, (16<<20)/64)
+	if err != nil {
+		return "", err
+	}
+	knees := h.WorkingSetKnees(0.05)
+	var ks []string
+	for _, k := range knees {
+		ks = append(ks, report.MB(k))
+	}
+	if len(ks) == 0 {
+		ks = []string{"none above threshold"}
+	}
+	fmt.Fprintf(&b, "  stack-distance working-set knees: %s; cold ratio %s\n\n",
+		strings.Join(ks, ", "), report.Pct(h.ColdRatio(), 1))
+	return b.String(), nil
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cachepirate/internal/analysis"
 	"cachepirate/internal/counters"
 	"cachepirate/internal/machine"
+	"cachepirate/internal/runner"
 )
 
 // ProfileFixed measures one cache size with the Pirate stealing a
@@ -75,17 +77,20 @@ func ProfileFixed(cfg Config, newGen GenFactory, size int64, threads int) (analy
 
 // ProfileFixedCurve runs ProfileFixed for every configured size; this
 // is the 15-executions reference the paper compares dynamic adjustment
-// against (≥1500% overhead vs 5.5%).
+// against (≥1500% overhead vs 5.5%). Every size is an independent
+// Target execution on a fresh pirated machine, so the runs fan out
+// across cfg.Workers with size-ordered collection; the curve is
+// identical at any worker count.
 func ProfileFixedCurve(cfg Config, newGen GenFactory, threads int) (*analysis.Curve, error) {
 	cfg = cfg.withDefaults()
-	curve := &analysis.Curve{Name: "pirate-fixed"}
-	for _, s := range cfg.Sizes {
-		p, err := ProfileFixed(cfg, newGen, s, threads)
-		if err != nil {
-			return nil, err
-		}
-		curve.Points = append(curve.Points, p)
+	points, err := runner.Map(context.Background(), runner.Pool{Workers: cfg.Workers}, len(cfg.Sizes),
+		func(_ context.Context, i int) (analysis.Point, error) {
+			return ProfileFixed(cfg, newGen, cfg.Sizes[i], threads)
+		})
+	if err != nil {
+		return nil, err
 	}
+	curve := &analysis.Curve{Name: "pirate-fixed", Points: points}
 	curve.Sort()
 	return curve, nil
 }

@@ -1,19 +1,23 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cachepirate/internal/analysis"
 	"cachepirate/internal/cache"
 	"cachepirate/internal/counters"
 	"cachepirate/internal/machine"
+	"cachepirate/internal/runner"
 	"cachepirate/internal/workload"
 )
 
 // GenFactory builds a fresh workload instance from a seed. The harness
 // needs factories rather than generators because several experiments
 // (thread detection, fixed-size references, overhead baselines) run
-// the Target on fresh machines.
+// the Target on fresh machines. A factory must be safe for concurrent
+// calls — each call returns an independent generator — because the
+// fan-out entry points invoke it from pool workers (Config.Workers).
 type GenFactory func(seed uint64) workload.Generator
 
 // Config parameterises a profiling run.
@@ -68,6 +72,16 @@ type Config struct {
 	StealStep int64
 	// Seed seeds the Target workload.
 	Seed uint64
+	// Workers bounds how many independent machine runs execute
+	// concurrently in the fan-out entry points (ProfileFixedCurve's
+	// per-size runs, DetermineThreads' per-thread-count runs). Each run
+	// builds a fresh machine and generator from the factory, so results
+	// are bit-identical at any width; <= 0 means one worker per CPU, 1
+	// reproduces the historical serial order exactly. The per-size loop
+	// inside a dynamic Profile/ProfileTimeline run is inherently serial
+	// — it is a single Target execution, the paper's whole point — and
+	// is not affected.
+	Workers int
 }
 
 // withDefaults returns cfg with zero fields filled in.
@@ -161,6 +175,12 @@ type Report struct {
 // measurement cycle the Pirate's working set only grows (so each
 // change warms with the Pirate running alone briefly); between cycles
 // it collapses and the Target warms its reclaimed space.
+//
+// The per-size loop shares the one live machine — a single Target
+// execution is the methodology — so it is inherently serial;
+// Config.Workers parallelises only the fresh-machine fan-out this
+// function calls (DetermineThreads). Use ProfileFixedCurve when you
+// want the per-size runs themselves fanned across cores.
 func Profile(cfg Config, newGen GenFactory) (*analysis.Curve, *Report, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -337,19 +357,55 @@ func pirateFetchRatio(pmu *counters.PMU, p *Pirate) float64 {
 // ... threads, and the highest count whose CPI stays within
 // SlowdownThreshold of the single-thread CPI wins. One thread is
 // always safe (two cores cannot saturate the L3 port).
+//
+// Each thread count runs on its own fresh machine, so with Workers !=
+// 1 the candidate CPIs are measured concurrently and the serial
+// early-break scan is replayed over them afterwards — the chosen count
+// and the reported CPI list (truncated at the break point) are
+// byte-identical to the serial path; the parallel path merely measures
+// some counts the serial path would have skipped.
 func DetermineThreads(cfg Config, newGen GenFactory) (int, []float64, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return 0, nil, err
 	}
 	tokenWSS := cfg.StealStep
+
+	if (runner.Pool{Workers: cfg.Workers}).EffectiveWorkers(cfg.MaxThreads) == 1 {
+		// Serial: evaluate lazily with the historical early break, so
+		// -j 1 does exactly the work it always did.
+		var cpis []float64
+		best := 1
+		for t := 1; t <= cfg.MaxThreads; t++ {
+			cpi, err := targetCPIWithPirate(cfg, newGen, tokenWSS, t)
+			if err != nil {
+				return 0, nil, err
+			}
+			cpis = append(cpis, cpi)
+			if t == 1 {
+				continue
+			}
+			if (cpi-cpis[0])/cpis[0] <= cfg.SlowdownThreshold {
+				best = t
+			} else {
+				break
+			}
+		}
+		return best, cpis, nil
+	}
+	all, err := runner.Map(context.Background(), runner.Pool{Workers: cfg.Workers}, cfg.MaxThreads,
+		func(_ context.Context, i int) (float64, error) {
+			return targetCPIWithPirate(cfg, newGen, tokenWSS, i+1)
+		})
+	if err != nil {
+		return 0, nil, err
+	}
+	// Replay the serial scan, including its truncation at the first
+	// over-threshold count, so the outputs match the serial path.
 	var cpis []float64
 	best := 1
 	for t := 1; t <= cfg.MaxThreads; t++ {
-		cpi, err := targetCPIWithPirate(cfg, newGen, tokenWSS, t)
-		if err != nil {
-			return 0, nil, err
-		}
+		cpi := all[t-1]
 		cpis = append(cpis, cpi)
 		if t == 1 {
 			continue

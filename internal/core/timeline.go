@@ -116,6 +116,9 @@ func (tl *Timeline) PhaseSpread() map[int64]float64 {
 // ProfileTimeline is Profile with per-interval recording: same
 // schedule (descending sizes per cycle, warm-ups on growth), but every
 // measurement is kept with its position in the Target's execution.
+// Like Profile, the per-size schedule shares the one live machine and
+// stays serial; Config.Workers accelerates the DetermineThreads
+// fan-out it performs when no thread count is fixed.
 func ProfileTimeline(cfg Config, newGen GenFactory) (*Timeline, *Report, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestProfileFixedCurveWorkersDeterminism: the per-size fixed profiles
+// run on fresh machines, so the pooled fan-out must reproduce the
+// serial curve bit for bit at any worker count.
+func TestProfileFixedCurveWorkersDeterminism(t *testing.T) {
+	base := testConfig(2)
+	base.Sizes = []int64{16 << 10, 32 << 10, 48 << 10, 64 << 10}
+
+	serialCfg := base
+	serialCfg.Workers = 1
+	serial, err := ProfileFixedCurve(serialCfg, randTarget(64<<10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := ProfileFixedCurve(cfg, randTarget(64<<10), 1)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("workers=%d fixed curve differs from serial:\n%+v\nvs\n%+v",
+				workers, serial.Points, got.Points)
+		}
+	}
+}
+
+// TestDetermineThreadsWorkersDeterminism: the parallel branch computes
+// every candidate CPI up front and then replays the serial early-break
+// scan, so the chosen thread count and the (possibly truncated) CPI
+// list must match the serial branch exactly.
+func TestDetermineThreadsWorkersDeterminism(t *testing.T) {
+	base := testConfig(4)
+
+	serialCfg := base
+	serialCfg.Workers = 1
+	wantThreads, wantCPIs, err := DetermineThreads(serialCfg, randTarget(32<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		threads, cpis, err := DetermineThreads(cfg, randTarget(32<<10))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if threads != wantThreads {
+			t.Errorf("workers=%d picked %d threads, serial picked %d", workers, threads, wantThreads)
+		}
+		if !reflect.DeepEqual(wantCPIs, cpis) {
+			t.Errorf("workers=%d thread-test CPIs %v differ from serial %v", workers, cpis, wantCPIs)
+		}
+	}
+}
+
+// TestProfileWorkersDeterminism: Profile's own per-size loop is serial
+// by design, but its DetermineThreads fan-out is pooled; the full
+// profile must still be identical at any width.
+func TestProfileWorkersDeterminism(t *testing.T) {
+	base := testConfig(4)
+
+	serialCfg := base
+	serialCfg.Workers = 1
+	serial, serialRep, err := Profile(serialCfg, randTarget(48<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Workers = 8
+	got, gotRep, err := Profile(cfg, randTarget(48<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, got) {
+		t.Errorf("workers=8 profile differs from serial:\n%+v\nvs\n%+v", serial.Points, got.Points)
+	}
+	if !reflect.DeepEqual(serialRep, gotRep) {
+		t.Errorf("workers=8 report differs from serial:\n%+v\nvs\n%+v", serialRep, gotRep)
+	}
+}

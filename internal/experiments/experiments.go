@@ -9,12 +9,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"cachepirate/internal/core"
 	"cachepirate/internal/machine"
 	"cachepirate/internal/report"
+	"cachepirate/internal/runner"
 	"cachepirate/internal/workload"
 )
 
@@ -38,6 +40,13 @@ type Options struct {
 	Seed uint64
 	// Quick shrinks sizes, intervals and benchmark lists for CI.
 	Quick bool
+	// Workers bounds how many independent runs (one fresh machine
+	// each) execute concurrently: per-benchmark profiles inside an
+	// experiment and whole experiments inside RunAll. Results are
+	// bit-identical at any width because every run seeds its own
+	// workload on its own machine; <= 0 means one worker per CPU, 1
+	// reproduces the historical serial order exactly.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -95,7 +104,22 @@ func (o Options) profileConfig(mcfg machine.Config) core.Config {
 		IntervalInstrs: o.IntervalInstrs,
 		Cycles:         o.Cycles,
 		Seed:           o.Seed,
+		Workers:        o.Workers,
 	}
+}
+
+// pool is the worker pool every experiment fan-out shares.
+func (o Options) pool() runner.Pool { return runner.Pool{Workers: o.Workers} }
+
+// forEachBench runs body(bench) for every benchmark concurrently
+// across the option's pool and returns the per-benchmark payloads in
+// list order — the standard shape of a fig/table runner: parallel
+// compute, then serial in-order rendering.
+func forEachBench[T any](o Options, benches []string, body func(bench string) (T, error)) ([]T, error) {
+	return runner.Map(context.Background(), o.pool(), len(benches),
+		func(_ context.Context, i int) (T, error) {
+			return body(benches[i])
+		})
 }
 
 // Result is one experiment's output.
@@ -157,6 +181,36 @@ func All() []Runner {
 		{"abl2", "ablation: adaptive vs truncated target warm-up", Abl2WarmupPolicy},
 		{"abl3", "ablation: pirate thread count vs target distortion", Abl3ThreadCount},
 	}
+}
+
+// RunAll executes the named experiments (every experiment, in paper
+// order, when ids is empty) and returns their results in request
+// order. Experiments fan out across the option's worker pool — they
+// are fully independent apart from the fig6/fig7 shared-computation
+// memo, which deduplicates concurrent callers — and the first failure
+// cancels experiments that have not started yet.
+func RunAll(opts Options, ids []string) ([]*Result, error) {
+	if len(ids) == 0 {
+		for _, r := range All() {
+			ids = append(ids, r.ID)
+		}
+	}
+	rs := make([]Runner, len(ids))
+	for i, id := range ids {
+		r, ok := ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+		}
+		rs[i] = r
+	}
+	return runner.Map(context.Background(), opts.pool(), len(rs),
+		func(_ context.Context, i int) (*Result, error) {
+			res, err := rs[i].Run(opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", rs[i].ID, err)
+			}
+			return res, nil
+		})
 }
 
 // ByID looks up an experiment runner.

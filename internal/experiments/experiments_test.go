@@ -116,3 +116,57 @@ func TestQuickExperimentsRun(t *testing.T) {
 		})
 	}
 }
+
+// TestExperimentWorkersDeterminism runs one full experiment serially
+// and pooled and demands byte-identical rendered output — the
+// user-facing form of the bit-reproducibility guarantee.
+func TestExperimentWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are seconds-scale; skipped in -short mode")
+	}
+	r, ok := ByID("fig8")
+	if !ok {
+		t.Fatal("fig8 runner missing")
+	}
+	serialOpts := quickOpts()
+	serialOpts.Workers = 1
+	serial, err := r.Run(serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOpts := quickOpts()
+	parOpts.Workers = 4
+	par, err := r.Run(parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != par.String() {
+		t.Errorf("fig8 output differs between -j 1 and -j 4:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, par)
+	}
+}
+
+// TestRunAllOrderAndErrors: RunAll must return results in request
+// order regardless of worker count, and reject nothing silently.
+func TestRunAllOrderAndErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are seconds-scale; skipped in -short mode")
+	}
+	opts := quickOpts()
+	opts.Workers = 4
+	ids := []string{"fig2", "fig1"}
+	results, err := RunAll(opts, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].ID != "fig2" || results[1].ID != "fig1" {
+		got := make([]string, len(results))
+		for i, r := range results {
+			got[i] = r.ID
+		}
+		t.Errorf("RunAll order = %v, want [fig2 fig1]", got)
+	}
+	if _, err := RunAll(opts, []string{"nope"}); err == nil {
+		t.Error("RunAll accepted an unknown experiment id")
+	}
+}

@@ -15,17 +15,21 @@ import (
 func Ext1BandwidthBandit(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	res := &Result{ID: "ext1", Title: "bandwidth bandit: performance vs available off-chip bandwidth"}
-	for _, bench := range opts.benchList("lbm", "mcf", "povray") {
+	benches := opts.benchList("lbm", "mcf", "povray")
+	curves, err := forEachBench(opts, benches, func(bench string) (*bandit.Curve, error) {
 		cfg := bandit.Config{
 			Machine:        machine.NehalemConfig(),
 			IntervalInstrs: opts.IntervalInstrs,
 			WarmupInstrs:   opts.IntervalInstrs,
 			Seed:           opts.Seed,
 		}
-		curve, err := bandit.Profile(cfg, factory(bench))
-		if err != nil {
-			return nil, err
-		}
+		return bandit.Profile(cfg, factory(bench))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bench := range benches {
+		curve := curves[i]
 		t := report.NewTable(bench+" — CPI vs available bandwidth",
 			"pace", "bandit BW", "available BW", "target CPI", "target BW", "bandit L3 bytes")
 		for _, p := range curve.Points {

@@ -25,24 +25,33 @@ import (
 func Ext2ReferenceMethods(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	res := &Result{ID: "ext2", Title: "three reference methods: pirate vs simulator vs stack model"}
-	for _, bench := range opts.benchList("microrand", "microseq") {
+	type ext2Bench struct {
+		pirate, sim, stack *analysis.Curve
+	}
+	benches := opts.benchList("microrand", "microseq")
+	rows, err := forEachBench(opts, benches, func(bench string) (ext2Bench, error) {
 		pirate, err := pirateCurveNoPrefetch(opts, bench)
 		if err != nil {
-			return nil, err
+			return ext2Bench{}, err
 		}
 		base := baselineFetchRatio(pirate)
 		refs, err := referenceCurves(opts, bench, base, cache.Nehalem)
 		if err != nil {
-			return nil, err
+			return ext2Bench{}, err
 		}
-		sim := refs[cache.Nehalem]
-
 		tr := simulate.CaptureTrace(factory(bench), opts.Seed, 0, opts.TraceRecords)
 		stack, err := simulate.StackModelCurve(tr, opts.Sizes)
 		if err != nil {
-			return nil, err
+			return ext2Bench{}, err
 		}
 		simulate.Calibrate(stack, base)
+		return ext2Bench{pirate: pirate, sim: refs[cache.Nehalem], stack: stack}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bench := range benches {
+		pirate, sim, stack := rows[i].pirate, rows[i].sim, rows[i].stack
 
 		t := report.NewTable("fetch ratio — "+bench,
 			"cache", "pirate", "simulator", "stack-model", "trusted")

@@ -26,9 +26,13 @@ func Ext3Portability(opts Options) (*Result, error) {
 		{"nehalem-8MB", machine.NehalemConfigNoPrefetch()},
 		{"generic-lru-6MB", noPrefetch(machine.GenericLRUConfig())},
 	}
-	for _, bench := range opts.benchList("microrand", "omnetpp") {
-		t := report.NewTable("pirate accuracy per machine — "+bench,
-			"machine", "L3", "trusted points", "abs mean err", "abs max err")
+	type ext3Row struct {
+		trusted int
+		errs    analysis.ErrorSummary
+	}
+	benches := opts.benchList("microrand", "omnetpp")
+	rows, err := forEachBench(opts, benches, func(bench string) ([]ext3Row, error) {
+		var out []ext3Row
 		for _, mc := range machines {
 			// Size grid scaled to this machine's L3.
 			var sizes []int64
@@ -45,6 +49,7 @@ func Ext3Portability(opts Options) (*Result, error) {
 			tr := simulate.CaptureTrace(factory(bench), opts.Seed, 0, opts.TraceRecords)
 			ref, err := simulate.Sweep(simulate.Config{
 				Machine: mc.cfg, Sizes: sizes, Mode: simulate.BySets, WarmPasses: 2,
+				Workers: opts.Workers,
 			}, tr)
 			if err != nil {
 				return nil, err
@@ -54,10 +59,20 @@ func Ext3Portability(opts Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			trusted := len(pirate.Trusted())
+			out = append(out, ext3Row{trusted: len(pirate.Trusted()), errs: sum})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bench := range benches {
+		t := report.NewTable("pirate accuracy per machine — "+bench,
+			"machine", "L3", "trusted points", "abs mean err", "abs max err")
+		for j, mc := range machines {
 			t.Add(mc.name, report.MB(mc.cfg.L3.Size),
-				report.F(float64(trusted), 0),
-				report.Pct(sum.AbsMean, 2), report.Pct(sum.AbsMax, 2))
+				report.F(float64(rows[i][j].trusted), 0),
+				report.Pct(rows[i][j].errs.AbsMean, 2), report.Pct(rows[i][j].errs.AbsMax, 2))
 		}
 		res.Add(t)
 	}

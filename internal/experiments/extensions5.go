@@ -20,16 +20,22 @@ func Ext5PhaseResolved(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	res := &Result{ID: "ext5", Title: "phase-resolved profiling: per-size CPI spread across cycles"}
 
-	for _, bench := range opts.benchList("gcc", "sphinx3") {
+	benches := opts.benchList("gcc", "sphinx3")
+	timelines, err := forEachBench(opts, benches, func(bench string) (*core.Timeline, error) {
 		cfg := opts.profileConfig(machine.NehalemConfig())
 		cfg.Threads = 1
 		if cfg.Cycles < 3 {
 			cfg.Cycles = 3 // spreads need several samples per size
 		}
 		tl, _, err := core.ProfileTimeline(cfg, factory(bench))
-		if err != nil {
-			return nil, err
-		}
+		return tl, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bench := range benches {
+		tl := timelines[i]
+		cfg := opts.profileConfig(machine.NehalemConfig())
 		spread := tl.PhaseSpread()
 		var sizes []int64
 		for s := range spread {

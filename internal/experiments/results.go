@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"cachepirate/internal/analysis"
 	"cachepirate/internal/core"
 	"cachepirate/internal/machine"
 	"cachepirate/internal/report"
@@ -20,15 +21,26 @@ var fig8Benchmarks = []string{
 func Fig8MetricCurves(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	res := &Result{ID: "fig8", Title: "metric curves with prefetching enabled"}
-	for _, bench := range opts.benchList(fig8Benchmarks...) {
+	type fig8Bench struct {
+		curve *analysis.Curve
+		rep   *core.Report
+	}
+	benches := opts.benchList(fig8Benchmarks...)
+	rows, err := forEachBench(opts, benches, func(bench string) (fig8Bench, error) {
 		cfg := opts.profileConfig(machine.NehalemConfig())
 		curve, rep, err := core.Profile(cfg, factory(bench))
 		if err != nil {
-			return nil, err
+			return fig8Bench{}, err
 		}
 		curve.Name = bench
-		res.Add(report.CurveTable(bench+" (prefetching on)", curve))
-		res.Notef("%s: %s (threads=%d)", bench, report.CurveSparklines(curve), rep.ThreadsUsed)
+		return fig8Bench{curve: curve, rep: rep}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bench := range benches {
+		res.Add(report.CurveTable(bench+" (prefetching on)", rows[i].curve))
+		res.Notef("%s: %s (threads=%d)", bench, report.CurveSparklines(rows[i].curve), rows[i].rep.ThreadsUsed)
 	}
 	return res, nil
 }

@@ -26,15 +26,20 @@ func Table2HardestToSteal(opts Options) (*Result, error) {
 	}
 	t := report.NewTable("Table II analogue",
 		"benchmark", "1 thread stolen", "2 threads stolen", "(cpi2-cpi1)/cpi1")
-	for _, bench := range opts.benchList(defaults...) {
+	type tab2Row struct {
+		one, two core.StealResult
+		slowdown float64
+	}
+	benches := opts.benchList(defaults...)
+	rows, err := forEachBench(opts, benches, func(bench string) (tab2Row, error) {
 		cfg := opts.profileConfig(machine.NehalemConfig())
 		one, err := core.MaxStealable(cfg, factory(bench), 1)
 		if err != nil {
-			return nil, err
+			return tab2Row{}, err
 		}
 		two, err := core.MaxStealable(cfg, factory(bench), 2)
 		if err != nil {
-			return nil, err
+			return tab2Row{}, err
 		}
 		probe := two.MaxWSS
 		if one.MaxWSS > probe {
@@ -45,9 +50,15 @@ func Table2HardestToSteal(opts Options) (*Result, error) {
 		}
 		sd, err := core.TargetSlowdown(cfg, factory(bench), probe, 1, 2)
 		if err != nil {
-			return nil, err
+			return tab2Row{}, err
 		}
-		t.Add(bench, report.MB(one.MaxWSS), report.MB(two.MaxWSS), report.Pct(sd, 1))
+		return tab2Row{one: one, two: two, slowdown: sd}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bench := range benches {
+		t.Add(bench, report.MB(rows[i].one.MaxWSS), report.MB(rows[i].two.MaxWSS), report.Pct(rows[i].slowdown, 1))
 	}
 	res.Add(t)
 	res.Notef("paper: mcf 5.5/6.5MB +5%%, milc 5.5/6.0MB +3%%, soplex 5.5/6.0MB +5%%, libquantum 5.0/5.0MB +6%%")
@@ -89,26 +100,29 @@ func Table3IntervalSweep(opts Options) (*Result, error) {
 	}
 
 	// Fixed-size references per benchmark (independent of interval).
-	refs := make(map[string]*analysis.Curve, len(benches))
-	for _, bench := range benches {
+	refCurves, err := forEachBench(opts, benches, func(bench string) (*analysis.Curve, error) {
 		cfg := opts.profileConfig(machine.NehalemConfig())
 		cfg.Threads = 1
 		cfg.Sizes = sizes
-		ref, err := core.ProfileFixedCurve(cfg, factory(bench), 1)
-		if err != nil {
-			return nil, err
-		}
-		refs[bench] = ref
+		return core.ProfileFixedCurve(cfg, factory(bench), 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	refs := make(map[string]*analysis.Curve, len(benches))
+	for i, bench := range benches {
+		refs[bench] = refCurves[i]
 	}
 
 	t := report.NewTable("Table III analogue",
 		"interval", "avg overhead", "max overhead",
 		"avg err (all)", "max err (all)", "avg err (no gcc)", "max err (no gcc)")
+	type tab3Cell struct {
+		overhead float64
+		errs     analysis.ErrorSummary
+	}
 	for _, iv := range intervals {
-		var ovs []float64
-		var errsAll, errsNoGcc []float64
-		var maxAll, maxNoGcc float64
-		for _, bench := range benches {
+		cells, err := forEachBench(opts, benches, func(bench string) (tab3Cell, error) {
 			cfg := opts.profileConfig(machine.NehalemConfig())
 			cfg.Threads = 1
 			cfg.IntervalInstrs = iv.instrs
@@ -117,18 +131,27 @@ func Table3IntervalSweep(opts Options) (*Result, error) {
 			cfg.PirateWarmPasses = 1
 			curve, _, ov, err := core.MeasureOverhead(cfg, factory(bench))
 			if err != nil {
-				return nil, err
+				return tab3Cell{}, err
 			}
-			ovs = append(ovs, ov.Overhead())
 			sum, err := analysis.CPIErrors(curve, refs[bench])
 			if err != nil {
-				return nil, err
+				return tab3Cell{}, err
 			}
-			errsAll = append(errsAll, sum.RelMean)
-			maxAll = math.Max(maxAll, sum.RelMax)
+			return tab3Cell{overhead: ov.Overhead(), errs: sum}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var ovs []float64
+		var errsAll, errsNoGcc []float64
+		var maxAll, maxNoGcc float64
+		for i, bench := range benches {
+			ovs = append(ovs, cells[i].overhead)
+			errsAll = append(errsAll, cells[i].errs.RelMean)
+			maxAll = math.Max(maxAll, cells[i].errs.RelMax)
 			if bench != "gcc" {
-				errsNoGcc = append(errsNoGcc, sum.RelMean)
-				maxNoGcc = math.Max(maxNoGcc, sum.RelMax)
+				errsNoGcc = append(errsNoGcc, cells[i].errs.RelMean)
+				maxNoGcc = math.Max(maxNoGcc, cells[i].errs.RelMax)
 			}
 		}
 		t.Add(iv.label,

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"cachepirate/internal/analysis"
 	"cachepirate/internal/cache"
@@ -30,6 +31,7 @@ func referenceCurves(opts Options, bench string, baselineFR float64,
 			Sizes:      opts.Sizes,
 			Mode:       simulate.BySets,
 			WarmPasses: 2,
+			Workers:    opts.Workers,
 		}, tr)
 		if err != nil {
 			return nil, err
@@ -70,16 +72,28 @@ func baselineFetchRatio(c *analysis.Curve) float64 {
 func Fig4MicroValidation(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	res := &Result{ID: "fig4", Title: "micro-benchmark validation: LRU vs Nehalem references"}
-	for _, bench := range opts.benchList("microrand", "microseq") {
+	type fig4Bench struct {
+		pirate *analysis.Curve
+		refs   map[cache.PolicyKind]*analysis.Curve
+	}
+	benches := opts.benchList("microrand", "microseq")
+	rows, err := forEachBench(opts, benches, func(bench string) (fig4Bench, error) {
 		pirate, err := pirateCurveNoPrefetch(opts, bench)
 		if err != nil {
-			return nil, err
+			return fig4Bench{}, err
 		}
 		refs, err := referenceCurves(opts, bench, baselineFetchRatio(pirate),
 			cache.LRU, cache.Nehalem)
 		if err != nil {
-			return nil, err
+			return fig4Bench{}, err
 		}
+		return fig4Bench{pirate: pirate, refs: refs}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bench := range benches {
+		pirate, refs := rows[i].pirate, rows[i].refs
 		t := report.NewTable("fetch ratio — "+bench,
 			"cache", "pirate", "ref-LRU", "ref-Nehalem", "pirateFR", "trusted")
 		for _, p := range pirate.Points {
@@ -114,12 +128,19 @@ var fig6Benchmarks = []string{
 // fig6Memo caches the expensive pirate+reference computation so that
 // running fig6 and fig7 in one process (cmd/experiments all) does the
 // work once. Keyed by the option fingerprint; entries are never
-// evicted (a process runs a handful of configurations at most).
-var fig6Memo = map[string]fig6Result{}
+// evicted (a process runs a handful of configurations at most). Each
+// entry carries a sync.Once so concurrent fig6/fig7 runs (RunAll fans
+// experiments across the pool) deduplicate instead of computing twice.
+var (
+	fig6Mu   sync.Mutex
+	fig6Memo = map[string]*fig6Result{}
+)
 
 type fig6Result struct {
+	once    sync.Once
 	data    map[string][2]*analysis.Curve
 	benches []string
+	err     error
 }
 
 func fig6Key(opts Options, benches []string) string {
@@ -128,27 +149,44 @@ func fig6Key(opts Options, benches []string) string {
 }
 
 // fig6Data computes the pirate and Nehalem-reference curve for each
-// benchmark; Fig6 renders the curves and Fig7 the error summary.
+// benchmark; Fig6 renders the curves and Fig7 the error summary. The
+// per-benchmark profiles fan out across the option's pool. Workers is
+// deliberately excluded from the memo key: any width produces
+// identical curves (the determinism tests pin this).
 func fig6Data(opts Options) (map[string][2]*analysis.Curve, []string, error) {
 	opts = opts.withDefaults()
 	benches := opts.benchList(fig6Benchmarks...)
-	if hit, ok := fig6Memo[fig6Key(opts, benches)]; ok {
-		return hit.data, hit.benches, nil
+	key := fig6Key(opts, benches)
+	fig6Mu.Lock()
+	entry := fig6Memo[key]
+	if entry == nil {
+		entry = &fig6Result{}
+		fig6Memo[key] = entry
 	}
-	out := make(map[string][2]*analysis.Curve, len(benches))
-	for _, bench := range benches {
-		pirate, err := pirateCurveNoPrefetch(opts, bench)
+	fig6Mu.Unlock()
+	entry.once.Do(func() {
+		curves, err := forEachBench(opts, benches, func(bench string) ([2]*analysis.Curve, error) {
+			pirate, err := pirateCurveNoPrefetch(opts, bench)
+			if err != nil {
+				return [2]*analysis.Curve{}, err
+			}
+			refs, err := referenceCurves(opts, bench, baselineFetchRatio(pirate), cache.Nehalem)
+			if err != nil {
+				return [2]*analysis.Curve{}, err
+			}
+			return [2]*analysis.Curve{pirate, refs[cache.Nehalem]}, nil
+		})
 		if err != nil {
-			return nil, nil, err
+			entry.err = err
+			return
 		}
-		refs, err := referenceCurves(opts, bench, baselineFetchRatio(pirate), cache.Nehalem)
-		if err != nil {
-			return nil, nil, err
+		out := make(map[string][2]*analysis.Curve, len(benches))
+		for i, bench := range benches {
+			out[bench] = curves[i]
 		}
-		out[bench] = [2]*analysis.Curve{pirate, refs[cache.Nehalem]}
-	}
-	fig6Memo[fig6Key(opts, benches)] = fig6Result{data: out, benches: benches}
-	return out, benches, nil
+		entry.data, entry.benches = out, benches
+	})
+	return entry.data, entry.benches, entry.err
 }
 
 // Fig6FetchRatioCurves reproduces Figure 6: pirate-measured vs

@@ -357,20 +357,28 @@ func (m *Machine) RunInstructions(core int, n uint64) error {
 }
 
 // RunCycles runs until every runnable core's clock has passed
-// m.Now() + n cycles (or nothing is runnable).
+// m.Now() + n cycles (or nothing is runnable). The deadline check is
+// folded into the min-clock selection: Step always runs the runnable
+// core with the smallest clock, so "some runnable core is below the
+// deadline" is exactly "the selected core is below the deadline", and
+// one O(cores) scan per step suffices where a separate pre-check would
+// scan twice.
 func (m *Machine) RunCycles(n float64) {
 	deadline := m.now + n
 	for {
-		advanced := false
+		sel := -1
 		for i := range m.cores {
-			if m.runnable(i) && m.cores[i].Cycles() < deadline {
-				advanced = true
-				break
+			if !m.runnable(i) {
+				continue
+			}
+			if sel < 0 || m.cores[i].Cycles() < m.cores[sel].Cycles() {
+				sel = i
 			}
 		}
-		if !advanced || !m.Step() {
+		if sel < 0 || m.cores[sel].Cycles() >= deadline {
 			return
 		}
+		m.stepCore(sel)
 	}
 }
 

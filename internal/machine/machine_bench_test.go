@@ -1,0 +1,46 @@
+package machine
+
+import (
+	"testing"
+
+	"cachepirate/internal/workload"
+)
+
+// benchGen is a cheap deterministic streaming generator so the
+// benchmarks measure scheduler cost, not workload cost.
+func benchGen(seed uint64) workload.Generator {
+	return workload.NewSequential(workload.SequentialConfig{
+		Name: "bench", Base: seed << 20, Span: 1 << 20,
+		Elem: workload.LineSize, NInstr: 4, MLP: 2,
+	})
+}
+
+// BenchmarkRunCycles measures the RunCycles hot path — the per-step
+// cost of deadline-checked min-clock scheduling — on a fully occupied
+// machine, where the selection scan is at its widest.
+func BenchmarkRunCycles(b *testing.B) {
+	m := MustNew(NehalemConfig())
+	for i := 0; i < m.Cores(); i++ {
+		m.MustAttach(i, benchGen(uint64(i+1)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RunCycles(64)
+	}
+}
+
+// BenchmarkRunCyclesOneRunnable is the sparse variant: one runnable
+// core among four, so most of each scan is skip work.
+func BenchmarkRunCyclesOneRunnable(b *testing.B) {
+	m := MustNew(NehalemConfig())
+	for i := 0; i < m.Cores(); i++ {
+		m.MustAttach(i, benchGen(uint64(i+1)))
+	}
+	for i := 1; i < m.Cores(); i++ {
+		m.Suspend(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RunCycles(64)
+	}
+}

@@ -12,11 +12,13 @@
 package simulate
 
 import (
+	"context"
 	"fmt"
 
 	"cachepirate/internal/analysis"
 	"cachepirate/internal/counters"
 	"cachepirate/internal/machine"
+	"cachepirate/internal/runner"
 	"cachepirate/internal/trace"
 	"cachepirate/internal/workload"
 )
@@ -49,6 +51,11 @@ type Config struct {
 	// WarmPasses is how many full trace replays warm the cache before
 	// the measured replay (default 1).
 	WarmPasses int
+	// Workers bounds how many sizes are simulated concurrently. Each
+	// size gets its own fresh machine and trace replayer, so results
+	// are bit-identical at any width; <= 0 means one worker per CPU, 1
+	// reproduces the historical serial order exactly.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,50 +95,64 @@ func shrink(mcfg machine.Config, mode SweepMode, size int64) (machine.Config, er
 
 // Sweep replays tr once per size and returns the reference curve. Each
 // size gets a fresh single-core machine: WarmPasses replays warm the
-// hierarchy, then one replay is measured through the counters.
+// hierarchy, then one replay is measured through the counters. Sizes
+// are simulated concurrently across cfg.Workers (the trace is shared
+// read-only; every other piece of simulator state is per-size), with
+// results collected in size order, so the curve is identical at any
+// worker count.
 func Sweep(cfg Config, tr *trace.Trace) (*analysis.Curve, error) {
 	cfg = cfg.withDefaults()
 	if tr.Len() == 0 {
 		return nil, fmt.Errorf("simulate: empty trace")
 	}
-	curve := &analysis.Curve{Name: "reference"}
 	passInstrs := tr.Instructions()
-	for _, size := range cfg.Sizes {
-		mcfg, err := shrink(cfg.Machine, cfg.Mode, size)
-		if err != nil {
-			return nil, err
-		}
-		m, err := machine.New(mcfg)
-		if err != nil {
-			return nil, fmt.Errorf("simulate: size %d: %w", size, err)
-		}
-		gen := workload.NewFromTrace("trace", tr, cfg.MLP, 0)
-		if err := m.Attach(0, gen); err != nil {
-			return nil, err
-		}
-		for w := 0; w < cfg.WarmPasses; w++ {
-			if err := m.RunInstructions(0, passInstrs); err != nil {
-				return nil, err
-			}
-		}
-		pmu := counters.NewPMU(m)
-		pmu.MarkAll()
-		if err := m.RunInstructions(0, passInstrs); err != nil {
-			return nil, err
-		}
-		s := pmu.ReadInterval(0)
-		curve.Points = append(curve.Points, analysis.Point{
-			CacheBytes:   size,
-			CPI:          s.CPI(),
-			BandwidthGBs: s.BandwidthGBs(mcfg.CPU.FreqHz),
-			FetchRatio:   s.FetchRatio(),
-			MissRatio:    s.MissRatio(),
-			Trusted:      true,
-			Samples:      1,
+	points, err := runner.Map(context.Background(), runner.Pool{Workers: cfg.Workers}, len(cfg.Sizes),
+		func(_ context.Context, i int) (analysis.Point, error) {
+			return sweepPoint(cfg, tr, cfg.Sizes[i], passInstrs)
 		})
+	if err != nil {
+		return nil, err
 	}
+	curve := &analysis.Curve{Name: "reference", Points: points}
 	curve.Sort()
 	return curve, nil
+}
+
+// sweepPoint simulates one cache size on a fresh machine. It shares
+// only the read-only trace with concurrent sweep points.
+func sweepPoint(cfg Config, tr *trace.Trace, size int64, passInstrs uint64) (analysis.Point, error) {
+	mcfg, err := shrink(cfg.Machine, cfg.Mode, size)
+	if err != nil {
+		return analysis.Point{}, err
+	}
+	m, err := machine.New(mcfg)
+	if err != nil {
+		return analysis.Point{}, fmt.Errorf("simulate: size %d: %w", size, err)
+	}
+	gen := workload.NewFromTrace("trace", tr, cfg.MLP, 0)
+	if err := m.Attach(0, gen); err != nil {
+		return analysis.Point{}, err
+	}
+	for w := 0; w < cfg.WarmPasses; w++ {
+		if err := m.RunInstructions(0, passInstrs); err != nil {
+			return analysis.Point{}, err
+		}
+	}
+	pmu := counters.NewPMU(m)
+	pmu.MarkAll()
+	if err := m.RunInstructions(0, passInstrs); err != nil {
+		return analysis.Point{}, err
+	}
+	s := pmu.ReadInterval(0)
+	return analysis.Point{
+		CacheBytes:   size,
+		CPI:          s.CPI(),
+		BandwidthGBs: s.BandwidthGBs(mcfg.CPU.FreqHz),
+		FetchRatio:   s.FetchRatio(),
+		MissRatio:    s.MissRatio(),
+		Trusted:      true,
+		Samples:      1,
+	}, nil
 }
 
 // CaptureTrace records n references from a fresh instance of the
@@ -150,6 +171,11 @@ func CaptureTrace(newGen func(seed uint64) workload.Generator, seed uint64, skip
 // largest-cache point matches baselineFetchRatio — the paper's §III-B1
 // offset correction for cold-start effects and prefetchers that could
 // not be disabled. The curve is modified in place and returned.
+//
+// Shifted ratios are clamped into [0, 1]: a negative offset can push
+// low-fetch points below zero and a positive offset can push
+// high-fetch points above one, and neither is a physically meaningful
+// fetch ratio (fetches per memory access).
 func Calibrate(curve *analysis.Curve, baselineFetchRatio float64) *analysis.Curve {
 	if len(curve.Points) == 0 {
 		return curve
@@ -160,6 +186,9 @@ func Calibrate(curve *analysis.Curve, baselineFetchRatio float64) *analysis.Curv
 		curve.Points[i].FetchRatio += offset
 		if curve.Points[i].FetchRatio < 0 {
 			curve.Points[i].FetchRatio = 0
+		}
+		if curve.Points[i].FetchRatio > 1 {
+			curve.Points[i].FetchRatio = 1
 		}
 	}
 	return curve

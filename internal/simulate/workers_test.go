@@ -1,0 +1,154 @@
+package simulate
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"cachepirate/internal/analysis"
+	"cachepirate/internal/counters"
+	"cachepirate/internal/machine"
+	"cachepirate/internal/workload"
+)
+
+func TestCalibrateClampsAboveOne(t *testing.T) {
+	curve := &analysis.Curve{Name: "c", Points: []analysis.Point{
+		{CacheBytes: 1 << 10, FetchRatio: 0.95, Trusted: true},
+		{CacheBytes: 2 << 10, FetchRatio: 0.50, Trusted: true},
+		{CacheBytes: 4 << 10, FetchRatio: 0.60, Trusted: true},
+	}}
+	Calibrate(curve, 0.90 /* offset +0.30 pushes the first point past 1 */)
+	if got := curve.Points[0].FetchRatio; got != 1 {
+		t.Errorf("fetch ratio above 1 not clamped: %g", got)
+	}
+	if got := curve.Points[1].FetchRatio; got != 0.50+0.30 {
+		t.Errorf("in-range point shifted wrongly: %g", got)
+	}
+	if got := curve.Points[2].FetchRatio; got != 0.90 {
+		t.Errorf("baseline point = %g, want 0.90", got)
+	}
+}
+
+// TestSweepWorkersDeterminism is the tier-1 reproducibility guarantee:
+// the parallel sweep must be bit-identical to the serial one at any
+// worker count.
+func TestSweepWorkersDeterminism(t *testing.T) {
+	tr := CaptureTrace(randFactory(64<<10), 1, 0, 20000)
+	base := Config{Machine: smallMachine(), Sizes: []int64{16 << 10, 32 << 10, 48 << 10, 64 << 10}}
+
+	serialCfg := base
+	serialCfg.Workers = 1
+	serial, err := Sweep(serialCfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := Sweep(cfg, tr)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("workers=%d sweep differs from serial:\n%+v\nvs\n%+v", workers, serial.Points, got.Points)
+		}
+	}
+}
+
+// TestSweepSerialGolden replays the pre-pool serial loop by hand and
+// checks that Sweep with Workers=1 reproduces it exactly. This pins the
+// refactor: the worker pool changed scheduling, not simulation.
+func TestSweepSerialGolden(t *testing.T) {
+	tr := CaptureTrace(randFactory(64<<10), 1, 0, 20000)
+	cfg := Config{Machine: smallMachine(), Sizes: []int64{16 << 10, 32 << 10, 64 << 10}, Workers: 1}
+
+	got, err := Sweep(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The historical loop body, verbatim: shrink, fresh machine, warm
+	// replays, one measured replay through the counters.
+	def := cfg.withDefaults()
+	passInstrs := tr.Instructions()
+	want := &analysis.Curve{Name: "reference"}
+	for _, size := range def.Sizes {
+		mcfg, err := shrink(def.Machine, def.Mode, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := machine.New(mcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Attach(0, workload.NewFromTrace("trace", tr, def.MLP, 0)); err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < def.WarmPasses; w++ {
+			if err := m.RunInstructions(0, passInstrs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pmu := counters.NewPMU(m)
+		pmu.MarkAll()
+		if err := m.RunInstructions(0, passInstrs); err != nil {
+			t.Fatal(err)
+		}
+		s := pmu.ReadInterval(0)
+		want.Points = append(want.Points, analysis.Point{
+			CacheBytes:   size,
+			CPI:          s.CPI(),
+			BandwidthGBs: s.BandwidthGBs(mcfg.CPU.FreqHz),
+			FetchRatio:   s.FetchRatio(),
+			MissRatio:    s.MissRatio(),
+			Trusted:      true,
+			Samples:      1,
+		})
+	}
+	want.Sort()
+
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("Sweep(Workers:1) diverges from the historical serial loop:\n%+v\nvs\n%+v", want.Points, got.Points)
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B) {
+	tr := CaptureTrace(randFactory(64<<10), 1, 0, 60000)
+	cfg := Config{Machine: smallMachine(), Workers: 1} // 16 default sizes
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(cfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel measures the pooled sweep and reports the
+// wall-clock speedup over a serial run of the same work as a custom
+// metric. On a multi-core host speedup-vs-serial approaches the worker
+// count; on a single-CPU host it sits near 1.
+func BenchmarkSweepParallel(b *testing.B) {
+	tr := CaptureTrace(randFactory(64<<10), 1, 0, 60000)
+	serialCfg := Config{Machine: smallMachine(), Workers: 1}
+	parCfg := Config{Machine: smallMachine(), Workers: 0}
+
+	t0 := time.Now()
+	if _, err := Sweep(serialCfg, tr); err != nil {
+		b.Fatal(err)
+	}
+	serial := time.Since(t0)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(parCfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 && b.Elapsed() > 0 {
+		par := b.Elapsed() / time.Duration(b.N)
+		b.ReportMetric(serial.Seconds()/par.Seconds(), "speedup-vs-serial")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	}
+}
