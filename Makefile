@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-quick vet fmt experiments examples cover
+.PHONY: build test test-short bench bench-quick bench-kernel vet fmt experiments examples cover
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,11 @@ bench:
 # Quick-scale benchmark sweep.
 bench-quick:
 	$(GO) test -short -bench=. -benchmem ./...
+
+# Hot-path kernel benchmarks: the single-pass cache access kernel, the
+# machine step loop, the serial sweep, and the stack-distance analyzer.
+bench-kernel:
+	$(GO) test -run XXX -bench 'Sweep|Machine|Analyze|CacheAccess|Hierarchy' -benchmem ./...
 
 # Print every paper table/figure plus extensions and ablations.
 experiments:

@@ -7,7 +7,7 @@
 //
 //	cachesim [-records N] [-skip N] [-policy nehalem|lru|plru|random]
 //	         [-mode ways|sets] [-seed N] [-save FILE] [-load FILE] [-csv]
-//	         [-j N] <benchmark>
+//	         [-j N] [-cpuprofile FILE] <benchmark>
 //
 // The per-size reference simulations fan out across -j workers
 // (default: one per CPU); the curve is identical at any width.
@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"cachepirate/internal/cache"
 	"cachepirate/internal/machine"
@@ -38,7 +39,22 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV")
 	stack := flag.Bool("stack", false, "also print the analytical stack-distance model's curve")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers across cache sizes (1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var pol cache.PolicyKind
 	switch *policy {

@@ -7,9 +7,21 @@
 // The package models cache *state* only; timing (latencies, bandwidth
 // queueing) belongs to internal/cpu and internal/mem. All state changes
 // are deterministic, so simulations are bit-reproducible.
+//
+// Line state is stored structure-of-arrays: one dense tags array (with
+// an impossible sentinel tag marking empty ways), packed per-line flag
+// bytes, and dense replacement metadata, so the tag-match loop — the
+// innermost loop of every simulation — is a tight scan over one
+// cache-friendly array. A per-set MRU-way hint short-circuits the scan
+// for the common repeat-hit case. The layout is an implementation
+// detail: every operation is bit-identical to the reference
+// array-of-structs model (see equivalence_test.go).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Owner identifies which hardware context (core) performed an access.
 // Per-owner statistics let the measurement harness read Target and
@@ -76,6 +88,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cache %s: size %d not divisible by ways*line (%d*%d)",
 			c.Name, c.Size, c.Ways, c.LineSize)
 	}
+	if c.Ways > 64 {
+		return fmt.Errorf("cache %s: more than 64 ways (%d) not supported (per-set metadata is one 64-bit word)", c.Name, c.Ways)
+	}
 	if c.Policy == PseudoLRU && c.Ways&(c.Ways-1) != 0 {
 		return fmt.Errorf("cache %s: pseudo-LRU needs power-of-two ways, got %d", c.Name, c.Ways)
 	}
@@ -88,23 +103,17 @@ func (c Config) Validate() error {
 // Sets returns the number of sets implied by the geometry.
 func (c Config) Sets() int64 { return c.Size / (c.LineSize * int64(c.Ways)) }
 
-// line is one cache line's bookkeeping.
-type line struct {
-	tag      uint64 // full line address (addr / lineSize); unique per line
-	valid    bool
-	dirty    bool
-	prefetch bool  // filled by a prefetcher and not yet demand-touched
-	owner    Owner // context that filled the line
-}
+// invalidTag marks an empty way in the tags array. Real tags are line
+// addresses (byte address >> log2(lineSize), lineSize >= 2), so they
+// can never reach 2^64-1 and the sentinel doubles as the valid bit:
+// the tag-match scan needs no separate validity check.
+const invalidTag = ^uint64(0)
 
-// set is one associative set: lines plus policy metadata.
-type set struct {
-	lines []line
-	// stamp holds per-way LRU timestamps (LRU policy) or accessed bits
-	// (Nehalem policy, 0/1).
-	stamp []uint64
-	tree  uint64 // pseudo-LRU tree bits
-}
+// Per-line flag bits (flags array).
+const (
+	flagDirty    uint8 = 1 << iota // line modified since fill
+	flagPrefetch                   // prefetcher-filled, not yet demand-touched
+)
 
 // Evicted describes a line pushed out of a cache.
 type Evicted struct {
@@ -122,15 +131,32 @@ type Result struct {
 	Evicted     Evicted
 }
 
-// Cache is a single set-associative cache level.
+// Cache is a single set-associative cache level. Line state lives in
+// dense parallel arrays indexed by set*ways+way (see the package
+// comment for why).
 type Cache struct {
 	cfg      Config
-	sets     []set
+	ways     int
 	nsets    uint64
+	setMask  uint64 // nsets-1
+	setsPow2 bool   // index with &setMask instead of %nsets
+	fullMask uint64 // low `ways` bits set
 	shift    uint   // log2(lineSize)
 	clock    uint64 // monotone access counter for LRU stamps
 	rngState uint64 // for Random policy
 	stats    []OwnerStats
+
+	tags  []uint64 // line tag per way; invalidTag marks an empty way
+	flags []uint8  // dirty/prefetch bits per way
+	owner []int32  // context that filled each way
+	stamp []uint64 // LRU timestamps per way (LRU policy only)
+	// meta is one word of per-set replacement metadata: the pseudo-LRU
+	// tree bits (PseudoLRU) or the accessed-bit mask (Nehalem) — one
+	// bit per way, so touch and victim selection are O(1) bit ops
+	// instead of O(ways) scans.
+	meta []uint64
+	free []uint64 // per-set bitmask of empty ways (bit w = way w free)
+	mru  []int32  // per-set hint: way of the most recent hit or fill
 }
 
 // New builds a cache from cfg.
@@ -138,18 +164,31 @@ func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	nsets := cfg.Sets()
+	nsets := uint64(cfg.Sets())
+	nlines := int(nsets) * cfg.Ways
 	c := &Cache{
 		cfg:      cfg,
-		sets:     make([]set, nsets),
-		nsets:    uint64(nsets),
-		shift:    log2(uint64(cfg.LineSize)),
+		ways:     cfg.Ways,
+		nsets:    nsets,
+		setMask:  nsets - 1,
+		setsPow2: nsets&(nsets-1) == 0,
+		fullMask: ^uint64(0) >> (64 - uint(cfg.Ways)),
+		shift:    uint(bits.TrailingZeros64(uint64(cfg.LineSize))),
 		rngState: 0x853C49E6748FEA9B,
 		stats:    make([]OwnerStats, cfg.Owners),
+		tags:     make([]uint64, nlines),
+		flags:    make([]uint8, nlines),
+		owner:    make([]int32, nlines),
+		stamp:    make([]uint64, nlines),
+		meta:     make([]uint64, nsets),
+		free:     make([]uint64, nsets),
+		mru:      make([]int32, nsets),
 	}
-	for i := range c.sets {
-		c.sets[i].lines = make([]line, cfg.Ways)
-		c.sets[i].stamp = make([]uint64, cfg.Ways)
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	for i := range c.free {
+		c.free[i] = c.fullMask
 	}
 	return c, nil
 }
@@ -167,65 +206,113 @@ func MustNew(cfg Config) *Cache {
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
-func log2(x uint64) uint {
-	var n uint
-	for x > 1 {
-		x >>= 1
-		n++
-	}
-	return n
-}
-
+// index maps a byte address to its set index and full line tag. Set
+// counts are almost always powers of two (the BySets sweep mode is the
+// exception), so the hot path is a mask, not a modulo.
 func (c *Cache) index(a Addr) (setIdx uint64, tag uint64) {
 	lineAddr := uint64(a) >> c.shift
+	if c.setsPow2 {
+		return lineAddr & c.setMask, lineAddr
+	}
 	return lineAddr % c.nsets, lineAddr
 }
 
 func (c *Cache) lineAddr(tag uint64) Addr { return Addr(tag << c.shift) }
+
+// findWay returns the way holding tag in the set starting at base, or
+// -1. The per-set MRU hint is tried first: repeat hits on the same line
+// (the overwhelmingly common case in loop-heavy traces) resolve with a
+// single compare. Tags are unique within a set, so the hint can never
+// find a different way than the scan would.
+func (c *Cache) findWay(base int, si uint64, tag uint64) int {
+	if h := int(c.mru[si]); c.tags[base+h] == tag {
+		return h
+	}
+	t := c.tags[base : base+c.ways]
+	for w, tg := range t {
+		if tg == tag {
+			return w
+		}
+	}
+	return -1
+}
 
 // Access performs a demand access (read or write) by owner. On a hit the
 // replacement state is updated and Result.Hit is true. On a miss the line
 // is NOT filled: the caller decides whether and when to Fill (the
 // hierarchy uses this to model fill paths and inclusivity).
 func (c *Cache) Access(a Addr, write bool, owner Owner) Result {
+	hit, wasPref := c.demand(a, write, owner)
+	return Result{Hit: hit, WasPrefetch: wasPref}
+}
+
+// demand is Access without the Result envelope: the hierarchy's probe
+// path needs only the two booleans, so the hot loop skips materialising
+// (and zeroing) the full struct at every level.
+func (c *Cache) demand(a Addr, write bool, owner Owner) (hit, wasPref bool) {
 	si, tag := c.index(a)
-	s := &c.sets[si]
 	st := &c.stats[owner]
 	st.Accesses++
 	if write {
 		st.Writes++
 	}
-	for w := range s.lines {
-		ln := &s.lines[w]
-		if ln.valid && ln.tag == tag {
-			st.Hits++
-			wasPref := ln.prefetch
-			if wasPref {
-				ln.prefetch = false
-				st.PrefetchHits++
-			}
-			if write {
-				ln.dirty = true
-			}
-			c.touch(s, w)
-			return Result{Hit: true, WasPrefetch: wasPref}
-		}
+	base := int(si) * c.ways
+	w := c.findWay(base, si, tag)
+	if w < 0 {
+		st.Misses++
+		return false, false
+	}
+	return true, c.hit(si, base, w, write, st)
+}
+
+// hit applies the demand-hit bookkeeping for way w and reports whether
+// the line was an untouched prefetch.
+func (c *Cache) hit(si uint64, base, w int, write bool, st *OwnerStats) (wasPref bool) {
+	st.Hits++
+	idx := base + w
+	f := c.flags[idx]
+	wasPref = f&flagPrefetch != 0
+	if wasPref {
+		f &^= flagPrefetch
+		st.PrefetchHits++
+	}
+	if write {
+		f |= flagDirty
+	}
+	c.flags[idx] = f
+	c.touch(si, base, w)
+	c.mru[si] = int32(w)
+	return wasPref
+}
+
+// AccessFill is the fused demand path: it resolves hit/miss, victim
+// selection and the demand fill in a single set lookup. A hit behaves
+// exactly like Access; a miss counts like Access's miss, then installs
+// the line like Fill(a, owner, false, false) — Result.Hit stays false
+// and Result.Evicted carries the victim. Because a demand fill
+// immediately follows its miss with no intervening operation on this
+// cache, fusing the two cannot change any replacement decision; it only
+// removes the second tag scan (see DESIGN.md §8).
+func (c *Cache) AccessFill(a Addr, write bool, owner Owner) Result {
+	si, tag := c.index(a)
+	st := &c.stats[owner]
+	st.Accesses++
+	if write {
+		st.Writes++
+	}
+	base := int(si) * c.ways
+	if w := c.findWay(base, si, tag); w >= 0 {
+		return Result{Hit: true, WasPrefetch: c.hit(si, base, w, write, st)}
 	}
 	st.Misses++
-	return Result{}
+	return c.fillWay(si, base, tag, owner, false, false)
 }
 
 // Probe reports whether the line holding a is resident, without
 // disturbing replacement state or statistics.
 func (c *Cache) Probe(a Addr) bool {
 	si, tag := c.index(a)
-	s := &c.sets[si]
-	for w := range s.lines {
-		if s.lines[w].valid && s.lines[w].tag == tag {
-			return true
-		}
-	}
-	return false
+	return c.findWay(int(si)*c.ways, si, tag) >= 0
 }
 
 // Fill inserts the line holding a on behalf of owner, evicting a victim
@@ -235,55 +322,119 @@ func (c *Cache) Probe(a Addr) bool {
 // refreshes replacement state.
 func (c *Cache) Fill(a Addr, owner Owner, prefetch, dirty bool) Result {
 	si, tag := c.index(a)
-	s := &c.sets[si]
-	st := &c.stats[owner]
+	base := int(si) * c.ways
 
 	// Already resident (e.g. a racing prefetch): refresh and return.
-	for w := range s.lines {
-		ln := &s.lines[w]
-		if ln.valid && ln.tag == tag {
-			if dirty {
-				ln.dirty = true
-			}
-			if !prefetch {
-				ln.prefetch = false
-				c.touch(s, w)
-			}
-			return Result{Hit: true}
+	if w := c.findWay(base, si, tag); w >= 0 {
+		idx := base + w
+		if dirty {
+			c.flags[idx] |= flagDirty
+		}
+		if !prefetch {
+			c.flags[idx] &^= flagPrefetch
+			c.touch(si, base, w)
+			c.mru[si] = int32(w)
+		}
+		return Result{Hit: true}
+	}
+	return c.fillWay(si, base, tag, owner, prefetch, dirty)
+}
+
+// FillMissed is Fill for a line the caller has just observed to be
+// absent: it skips the residency re-scan. The contract is that no fill
+// of a can have happened on this cache since the observing Access — in
+// the hierarchy the only operations between a private-level miss and
+// its deferred fill are fills of *other* levels and back-invalidations,
+// which never add lines here, so the miss observation stays valid.
+func (c *Cache) FillMissed(a Addr, owner Owner, prefetch, dirty bool) Result {
+	si, tag := c.index(a)
+	return c.fillWay(si, int(si)*c.ways, tag, owner, prefetch, dirty)
+}
+
+// fillMissedWB is the private-level fill path: FillMissed with owner 0
+// and no prefetch mark, returning only what the hierarchy's writeback
+// chain needs — the victim's line address when (and only when) a dirty
+// line was evicted. Private levels are single-owner and never hold
+// prefetch-marked lines, so the bookkeeping is identical to fillWay's;
+// skipping the Result keeps the per-miss fill chain cheap.
+func (c *Cache) fillMissedWB(a Addr, dirty bool) (victimLine Addr, wb bool) {
+	si, tag := c.index(a)
+	base := int(si) * c.ways
+	st := &c.stats[0]
+	st.Fills++
+	var victim int
+	if fm := c.free[si]; fm != 0 {
+		victim = bits.TrailingZeros64(fm)
+		c.free[si] = fm &^ (1 << uint(victim))
+	} else {
+		victim = c.victim(si, base)
+		vs := &c.stats[c.owner[base+victim]]
+		vs.Evictions++
+		if c.flags[base+victim]&flagDirty != 0 {
+			vs.Writebacks++
+			victimLine = c.lineAddr(c.tags[base+victim])
+			wb = true
 		}
 	}
+	idx := base + victim
+	c.tags[idx] = tag
+	if dirty {
+		c.flags[idx] = flagDirty
+	} else {
+		c.flags[idx] = 0
+	}
+	c.owner[idx] = 0
+	c.touch(si, base, victim)
+	c.mru[si] = int32(victim)
+	return victimLine, wb
+}
 
+// fillWay installs tag into the set starting at base: count the fill,
+// prefer the lowest-numbered empty way (one bit op via the per-set
+// free mask, same way the reference layout's first-invalid scan finds),
+// otherwise evict the policy's victim.
+func (c *Cache) fillWay(si uint64, base int, tag uint64, owner Owner, prefetch, dirty bool) Result {
+	st := &c.stats[owner]
 	st.Fills++
 	if prefetch {
 		st.PrefetchFills++
 	}
 
-	// Prefer an invalid way.
-	victim := -1
-	for w := range s.lines {
-		if !s.lines[w].valid {
-			victim = w
-			break
-		}
-	}
 	var res Result
-	if victim < 0 {
-		victim = c.victim(s)
-		v := &s.lines[victim]
+	var victim int
+	if fm := c.free[si]; fm != 0 {
+		victim = bits.TrailingZeros64(fm)
+		c.free[si] = fm &^ (1 << uint(victim))
+	} else {
+		victim = c.victim(si, base)
+		idx := base + victim
+		vf := c.flags[idx]
+		vo := Owner(c.owner[idx])
 		res.Evicted = Evicted{
 			Valid:    true,
-			LineAddr: c.lineAddr(v.tag),
-			Dirty:    v.dirty,
-			Owner:    v.owner,
-			Prefetch: v.prefetch,
+			LineAddr: c.lineAddr(c.tags[idx]),
+			Dirty:    vf&flagDirty != 0,
+			Owner:    vo,
+			Prefetch: vf&flagPrefetch != 0,
 		}
-		c.stats[v.owner].Evictions++
-		if v.dirty {
-			c.stats[v.owner].Writebacks++
+		c.stats[vo].Evictions++
+		if vf&flagDirty != 0 {
+			c.stats[vo].Writebacks++
 		}
 	}
-	s.lines[victim] = line{tag: tag, valid: true, dirty: dirty, prefetch: prefetch, owner: owner}
-	c.fillTouch(s, victim)
+	idx := base + victim
+	c.tags[idx] = tag
+	var f uint8
+	if dirty {
+		f |= flagDirty
+	}
+	if prefetch {
+		f |= flagPrefetch
+	}
+	c.flags[idx] = f
+	c.owner[idx] = int32(owner)
+	c.touch(si, base, victim)
+	c.mru[si] = int32(victim)
 	return res
 }
 
@@ -293,12 +444,10 @@ func (c *Cache) Fill(a Addr, owner Owner, prefetch, dirty bool) Result {
 // was found.
 func (c *Cache) MarkDirty(a Addr) bool {
 	si, tag := c.index(a)
-	s := &c.sets[si]
-	for w := range s.lines {
-		if s.lines[w].valid && s.lines[w].tag == tag {
-			s.lines[w].dirty = true
-			return true
-		}
+	base := int(si) * c.ways
+	if w := c.findWay(base, si, tag); w >= 0 {
+		c.flags[base+w] |= flagDirty
+		return true
 	}
 	return false
 }
@@ -307,28 +456,52 @@ func (c *Cache) MarkDirty(a Addr) bool {
 // eviction record (used for back-invalidation in inclusive hierarchies).
 func (c *Cache) Invalidate(a Addr) (Evicted, bool) {
 	si, tag := c.index(a)
-	s := &c.sets[si]
-	for w := range s.lines {
-		ln := &s.lines[w]
-		if ln.valid && ln.tag == tag {
-			ev := Evicted{Valid: true, LineAddr: c.lineAddr(ln.tag), Dirty: ln.dirty, Owner: ln.owner, Prefetch: ln.prefetch}
-			*ln = line{}
-			s.stamp[w] = 0
-			return ev, true
-		}
+	base := int(si) * c.ways
+	w := c.findWay(base, si, tag)
+	if w < 0 {
+		return Evicted{}, false
 	}
-	return Evicted{}, false
+	idx := base + w
+	f := c.flags[idx]
+	ev := Evicted{
+		Valid:    true,
+		LineAddr: c.lineAddr(c.tags[idx]),
+		Dirty:    f&flagDirty != 0,
+		Owner:    Owner(c.owner[idx]),
+		Prefetch: f&flagPrefetch != 0,
+	}
+	c.clearLine(si, base, w)
+	return ev, true
+}
+
+// clearLine empties way w of set si: tag sentinel, flags, owner, stamp,
+// free-mask bit, and (for Nehalem) the way's accessed bit. The
+// pseudo-LRU tree is deliberately left alone, as in the reference
+// model.
+func (c *Cache) clearLine(si uint64, base, w int) {
+	idx := base + w
+	c.tags[idx] = invalidTag
+	c.flags[idx] = 0
+	c.owner[idx] = 0
+	c.stamp[idx] = 0
+	c.free[si] |= 1 << uint(w)
+	if c.cfg.Policy == Nehalem {
+		c.meta[si] &^= 1 << uint(w)
+	}
 }
 
 // Flush invalidates every line, resetting contents but not statistics.
 func (c *Cache) Flush() {
-	for i := range c.sets {
-		s := &c.sets[i]
-		for w := range s.lines {
-			s.lines[w] = line{}
-			s.stamp[w] = 0
-		}
-		s.tree = 0
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+		c.flags[i] = 0
+		c.owner[i] = 0
+		c.stamp[i] = 0
+	}
+	for i := range c.meta {
+		c.meta[i] = 0
+		c.free[i] = c.fullMask
+		c.mru[i] = 0
 	}
 }
 
@@ -337,12 +510,10 @@ func (c *Cache) Flush() {
 // not hot paths.
 func (c *Cache) ResidentLines(owner Owner) int {
 	n := 0
-	for i := range c.sets {
-		for w := range c.sets[i].lines {
-			ln := &c.sets[i].lines[w]
-			if ln.valid && ln.owner == owner {
-				n++
-			}
+	ow := int32(owner)
+	for i, tg := range c.tags {
+		if tg != invalidTag && c.owner[i] == ow {
+			n++
 		}
 	}
 	return n
@@ -353,110 +524,110 @@ func (c *Cache) ResidentBytes(owner Owner) int64 {
 	return int64(c.ResidentLines(owner)) * c.cfg.LineSize
 }
 
-// touch updates replacement metadata for a demand hit on way w.
-func (c *Cache) touch(s *set, w int) {
+// touch updates replacement metadata for a hit on or (re)fill of way w
+// in the set starting at base.
+func (c *Cache) touch(si uint64, base, w int) {
 	switch c.cfg.Policy {
 	case LRU:
 		c.clock++
-		s.stamp[w] = c.clock
+		c.stamp[base+w] = c.clock
 	case PseudoLRU:
-		c.plruTouch(s, w)
+		c.plruTouch(si, w)
 	case Nehalem:
-		c.nehalemTouch(s, w)
+		c.nehalemTouch(si, w)
 	case Random:
 		// stateless
 	}
 }
 
-// fillTouch updates replacement metadata when way w is (re)filled.
-func (c *Cache) fillTouch(s *set, w int) { c.touch(s, w) }
-
 // victim selects a way to evict from a full set.
-func (c *Cache) victim(s *set) int {
+func (c *Cache) victim(si uint64, base int) int {
 	switch c.cfg.Policy {
 	case LRU:
-		best, bestStamp := 0, s.stamp[0]
-		for w := 1; w < len(s.lines); w++ {
-			if s.stamp[w] < bestStamp {
-				best, bestStamp = w, s.stamp[w]
+		st := c.stamp[base : base+c.ways]
+		best, bestStamp := 0, st[0]
+		for w := 1; w < len(st); w++ {
+			if st[w] < bestStamp {
+				best, bestStamp = w, st[w]
 			}
 		}
 		return best
 	case PseudoLRU:
-		return c.plruVictim(s)
+		return c.plruVictim(si)
 	case Nehalem:
-		return c.nehalemVictim(s)
+		return c.nehalemVictim(si)
 	case Random:
 		x := c.rngState
 		x ^= x >> 12
 		x ^= x << 25
 		x ^= x >> 27
 		c.rngState = x
-		return int((x * 0x2545F4914F6CDD1D) % uint64(len(s.lines)))
+		return int((x * 0x2545F4914F6CDD1D) % uint64(c.ways))
 	}
 	return 0
 }
 
 // --- Nehalem accessed-bit policy (paper §II-B2) ---
 
-func (c *Cache) nehalemTouch(s *set, w int) {
-	s.stamp[w] = 1
-	// If every accessed bit is now set, clear all except the one just
-	// touched ("when this last cache-line is accessed its access bit is
-	// set and all other accessed bits are cleared").
-	for i := range s.stamp {
-		if s.lines[i].valid || i == w {
-			if s.stamp[i] == 0 {
-				return // at least one unset bit remains
-			}
-		}
+// The accessed bits live in meta[set], one bit per way, so the "are all
+// valid ways' bits set" check is a mask compare, not a scan. A way's
+// accessed bit is set iff the reference model's stamp[w] == 1: fills
+// and hits set it here and in touch, Invalidate clears it in clearLine,
+// and the clear-all-but-touched rule below zeroes the rest — invalid
+// ways always carry a zero bit in both layouts.
+
+func (c *Cache) nehalemTouch(si uint64, w int) {
+	bit := uint64(1) << uint(w)
+	m := c.meta[si] | bit
+	// If every valid way's accessed bit is now set, clear all except
+	// the one just touched ("when this last cache-line is accessed its
+	// access bit is set and all other accessed bits are cleared"). The
+	// touched way is always valid by the time touch runs.
+	if valid := c.fullMask &^ c.free[si]; valid&^m == 0 {
+		m = bit
 	}
-	for i := range s.stamp {
-		if i != w {
-			s.stamp[i] = 0
-		}
-	}
+	c.meta[si] = m
 }
 
-func (c *Cache) nehalemVictim(s *set) int {
-	for w := range s.stamp {
-		if s.stamp[w] == 0 {
-			return w
-		}
+func (c *Cache) nehalemVictim(si uint64) int {
+	unset := c.fullMask &^ c.meta[si]
+	if unset == 0 {
+		// All bits set can only happen transiently for 1-way caches.
+		return 0
 	}
-	// All bits set can only happen transiently for 1-way caches.
-	return 0
+	return bits.TrailingZeros64(unset)
 }
 
 // --- Tree pseudo-LRU ---
 
-// The tree is stored as bits of s.tree, node 1 is the root, node i has
-// children 2i and 2i+1; a 0 bit means "left subtree is older".
+// The tree is stored as bits of meta[set], node 1 is the root, node i
+// has children 2i and 2i+1; a 0 bit means "left subtree is older".
 
-func (c *Cache) plruTouch(s *set, w int) {
-	n := len(s.lines)
+func (c *Cache) plruTouch(si uint64, w int) {
+	tr := c.meta[si]
 	node := 1
-	lo, hi := 0, n
+	lo, hi := 0, c.ways
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
 		if w < mid {
 			// Accessed left: point the bit right (away from w).
-			s.tree |= 1 << uint(node)
+			tr |= 1 << uint(node)
 			node, hi = 2*node, mid
 		} else {
-			s.tree &^= 1 << uint(node)
+			tr &^= 1 << uint(node)
 			node, lo = 2*node+1, mid
 		}
 	}
+	c.meta[si] = tr
 }
 
-func (c *Cache) plruVictim(s *set) int {
-	n := len(s.lines)
+func (c *Cache) plruVictim(si uint64) int {
+	tr := c.meta[si]
 	node := 1
-	lo, hi := 0, n
+	lo, hi := 0, c.ways
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
-		if s.tree&(1<<uint(node)) == 0 {
+		if tr&(1<<uint(node)) == 0 {
 			// Bit points left: the left subtree is older.
 			node, hi = 2*node, mid
 		} else {

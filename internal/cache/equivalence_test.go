@@ -1,0 +1,448 @@
+package cache
+
+import (
+	"testing"
+
+	"cachepirate/internal/stats"
+)
+
+// This file keeps the original array-of-structs cache model (the layout
+// the SoA kernel replaced) as an executable reference, and replays
+// randomized operation streams through both implementations asserting
+// identical hit/miss/eviction sequences for every policy. Any
+// divergence — a different victim, a dropped writeback, a replacement
+// state drift — fails on the exact operation where it first appears.
+
+// refLine is one cache line's bookkeeping in the reference layout.
+type refLine struct {
+	tag      uint64
+	valid    bool
+	dirty    bool
+	prefetch bool
+	owner    Owner
+}
+
+// refSet is one associative set: lines plus policy metadata.
+type refSet struct {
+	lines []refLine
+	// stamp holds per-way LRU timestamps (LRU policy) or accessed bits
+	// (Nehalem policy, 0/1).
+	stamp []uint64
+	tree  uint64 // pseudo-LRU tree bits
+}
+
+// refCache is the pre-SoA array-of-structs model, verbatim except for
+// renames. It scans line structs instead of a dense tag array and
+// re-finds the set on every Fill.
+type refCache struct {
+	cfg      Config
+	sets     []refSet
+	nsets    uint64
+	shift    uint
+	clock    uint64
+	rngState uint64
+	stats    []OwnerStats
+}
+
+func newRefCache(cfg Config) *refCache {
+	nsets := cfg.Sets()
+	shift := uint(0)
+	for ls := uint64(cfg.LineSize); ls > 1; ls >>= 1 {
+		shift++
+	}
+	c := &refCache{
+		cfg:      cfg,
+		sets:     make([]refSet, nsets),
+		nsets:    uint64(nsets),
+		shift:    shift,
+		rngState: 0x853C49E6748FEA9B,
+		stats:    make([]OwnerStats, cfg.Owners),
+	}
+	for i := range c.sets {
+		c.sets[i].lines = make([]refLine, cfg.Ways)
+		c.sets[i].stamp = make([]uint64, cfg.Ways)
+	}
+	return c
+}
+
+func (c *refCache) index(a Addr) (setIdx uint64, tag uint64) {
+	lineAddr := uint64(a) >> c.shift
+	return lineAddr % c.nsets, lineAddr
+}
+
+func (c *refCache) lineAddr(tag uint64) Addr { return Addr(tag << c.shift) }
+
+func (c *refCache) Access(a Addr, write bool, owner Owner) Result {
+	si, tag := c.index(a)
+	s := &c.sets[si]
+	st := &c.stats[owner]
+	st.Accesses++
+	if write {
+		st.Writes++
+	}
+	for w := range s.lines {
+		ln := &s.lines[w]
+		if ln.valid && ln.tag == tag {
+			st.Hits++
+			wasPref := ln.prefetch
+			if wasPref {
+				ln.prefetch = false
+				st.PrefetchHits++
+			}
+			if write {
+				ln.dirty = true
+			}
+			c.touch(s, w)
+			return Result{Hit: true, WasPrefetch: wasPref}
+		}
+	}
+	st.Misses++
+	return Result{}
+}
+
+func (c *refCache) Probe(a Addr) bool {
+	si, tag := c.index(a)
+	s := &c.sets[si]
+	for w := range s.lines {
+		if s.lines[w].valid && s.lines[w].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *refCache) Fill(a Addr, owner Owner, prefetch, dirty bool) Result {
+	si, tag := c.index(a)
+	s := &c.sets[si]
+	st := &c.stats[owner]
+
+	for w := range s.lines {
+		ln := &s.lines[w]
+		if ln.valid && ln.tag == tag {
+			if dirty {
+				ln.dirty = true
+			}
+			if !prefetch {
+				ln.prefetch = false
+				c.touch(s, w)
+			}
+			return Result{Hit: true}
+		}
+	}
+
+	st.Fills++
+	if prefetch {
+		st.PrefetchFills++
+	}
+
+	victim := -1
+	for w := range s.lines {
+		if !s.lines[w].valid {
+			victim = w
+			break
+		}
+	}
+	var res Result
+	if victim < 0 {
+		victim = c.victim(s)
+		v := &s.lines[victim]
+		res.Evicted = Evicted{
+			Valid:    true,
+			LineAddr: c.lineAddr(v.tag),
+			Dirty:    v.dirty,
+			Owner:    v.owner,
+			Prefetch: v.prefetch,
+		}
+		c.stats[v.owner].Evictions++
+		if v.dirty {
+			c.stats[v.owner].Writebacks++
+		}
+	}
+	s.lines[victim] = refLine{tag: tag, valid: true, dirty: dirty, prefetch: prefetch, owner: owner}
+	c.touch(s, victim)
+	return res
+}
+
+func (c *refCache) MarkDirty(a Addr) bool {
+	si, tag := c.index(a)
+	s := &c.sets[si]
+	for w := range s.lines {
+		if s.lines[w].valid && s.lines[w].tag == tag {
+			s.lines[w].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+func (c *refCache) Invalidate(a Addr) (Evicted, bool) {
+	si, tag := c.index(a)
+	s := &c.sets[si]
+	for w := range s.lines {
+		ln := &s.lines[w]
+		if ln.valid && ln.tag == tag {
+			ev := Evicted{Valid: true, LineAddr: c.lineAddr(ln.tag), Dirty: ln.dirty, Owner: ln.owner, Prefetch: ln.prefetch}
+			*ln = refLine{}
+			s.stamp[w] = 0
+			return ev, true
+		}
+	}
+	return Evicted{}, false
+}
+
+func (c *refCache) touch(s *refSet, w int) {
+	switch c.cfg.Policy {
+	case LRU:
+		c.clock++
+		s.stamp[w] = c.clock
+	case PseudoLRU:
+		c.plruTouch(s, w)
+	case Nehalem:
+		c.nehalemTouch(s, w)
+	case Random:
+	}
+}
+
+func (c *refCache) victim(s *refSet) int {
+	switch c.cfg.Policy {
+	case LRU:
+		best, bestStamp := 0, s.stamp[0]
+		for w := 1; w < len(s.lines); w++ {
+			if s.stamp[w] < bestStamp {
+				best, bestStamp = w, s.stamp[w]
+			}
+		}
+		return best
+	case PseudoLRU:
+		return c.plruVictim(s)
+	case Nehalem:
+		return c.nehalemVictim(s)
+	case Random:
+		x := c.rngState
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		c.rngState = x
+		return int((x * 0x2545F4914F6CDD1D) % uint64(len(s.lines)))
+	}
+	return 0
+}
+
+func (c *refCache) nehalemTouch(s *refSet, w int) {
+	s.stamp[w] = 1
+	for i := range s.stamp {
+		if s.lines[i].valid || i == w {
+			if s.stamp[i] == 0 {
+				return
+			}
+		}
+	}
+	for i := range s.stamp {
+		if i != w {
+			s.stamp[i] = 0
+		}
+	}
+}
+
+func (c *refCache) nehalemVictim(s *refSet) int {
+	for w := range s.stamp {
+		if s.stamp[w] == 0 {
+			return w
+		}
+	}
+	return 0
+}
+
+func (c *refCache) plruTouch(s *refSet, w int) {
+	n := len(s.lines)
+	node := 1
+	lo, hi := 0, n
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if w < mid {
+			s.tree |= 1 << uint(node)
+			node, hi = 2*node, mid
+		} else {
+			s.tree &^= 1 << uint(node)
+			node, lo = 2*node+1, mid
+		}
+	}
+}
+
+func (c *refCache) plruVictim(s *refSet) int {
+	n := len(s.lines)
+	node := 1
+	lo, hi := 0, n
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s.tree&(1<<uint(node)) == 0 {
+			node, hi = 2*node, mid
+		} else {
+			node, lo = 2*node+1, mid
+		}
+	}
+	return lo
+}
+
+// equivConfigs returns the geometries the equivalence suite exercises
+// for a policy: a typical power-of-two-sets shape and (when the policy
+// allows non-power-of-two ways) a non-power-of-two-sets shape covering
+// the modulo indexing path and an odd associativity.
+func equivConfigs(pol PolicyKind) []Config {
+	cfgs := []Config{
+		{Name: "equiv", Size: 16 << 10, Ways: 4, LineSize: 64, Policy: pol, Owners: 3},
+	}
+	if pol != PseudoLRU {
+		// 24 sets of 3 ways: modulo set indexing, odd associativity.
+		cfgs = append(cfgs, Config{Name: "equiv-odd", Size: 24 * 3 * 64, Ways: 3, LineSize: 64, Policy: pol, Owners: 3})
+	}
+	return cfgs
+}
+
+// TestPolicyEquivalence replays a randomized operation stream — demand
+// accesses, fused access+fill, plain and prefetch fills, invalidations,
+// dirty marks — through the reference AoS model and the SoA kernel,
+// asserting identical results on every operation and identical final
+// statistics. This is the proof behind DESIGN.md §8's claim that the
+// single-pass layout cannot change replacement decisions.
+func TestPolicyEquivalence(t *testing.T) {
+	for _, pol := range []PolicyKind{LRU, PseudoLRU, Nehalem, Random} {
+		for _, cfg := range equivConfigs(pol) {
+			cfg := cfg
+			t.Run(pol.String()+"/"+cfg.Name, func(t *testing.T) {
+				runEquivalence(t, cfg)
+			})
+		}
+	}
+}
+
+func runEquivalence(t *testing.T, cfg Config) {
+	ref := newRefCache(cfg)
+	soa := MustNew(cfg)
+	rng := stats.NewRNG(uint64(31 + cfg.Policy))
+	// Address span ~4x capacity so sets fill and evict constantly.
+	spanLines := uint64(4 * cfg.Size / cfg.LineSize)
+
+	checkEv := func(op int, what string, re, se Evicted) {
+		t.Helper()
+		if re != se {
+			t.Fatalf("op %d (%s): evicted diverged\nref: %+v\nsoa: %+v", op, what, re, se)
+		}
+	}
+
+	const ops = 200_000
+	for op := 0; op < ops; op++ {
+		a := Addr(rng.Uint64n(spanLines) * uint64(cfg.LineSize))
+		// Sometimes address a byte inside the line, not its base.
+		if rng.Uint64n(4) == 0 {
+			a += Addr(rng.Uint64n(uint64(cfg.LineSize)))
+		}
+		owner := Owner(rng.Uint64n(uint64(cfg.Owners)))
+		write := rng.Uint64n(10) < 3
+
+		switch rng.Uint64n(10) {
+		case 0, 1, 2: // demand access, no fill (hierarchy probe style)
+			rr := ref.Access(a, write, owner)
+			sr := soa.Access(a, write, owner)
+			if rr != sr {
+				t.Fatalf("op %d: Access(%#x) diverged: ref %+v, soa %+v", op, a, rr, sr)
+			}
+		case 3, 4, 5: // fused demand access+fill (the L3 hot path)
+			rr := ref.Access(a, write, owner)
+			if !rr.Hit {
+				rr = ref.Fill(a, owner, false, false)
+				rr.Hit = false // fused Result reports the demand miss
+			}
+			sr := soa.AccessFill(a, write, owner)
+			if rr.Hit != sr.Hit || rr.WasPrefetch != sr.WasPrefetch {
+				t.Fatalf("op %d: AccessFill(%#x) diverged: ref %+v, soa %+v", op, a, rr, sr)
+			}
+			checkEv(op, "AccessFill", rr.Evicted, sr.Evicted)
+		case 6: // plain fill, sometimes prefetch-marked or pre-dirtied
+			pf := rng.Uint64n(3) == 0
+			dirty := !pf && rng.Uint64n(3) == 0
+			rr := ref.Fill(a, owner, pf, dirty)
+			sr := soa.Fill(a, owner, pf, dirty)
+			if rr.Hit != sr.Hit {
+				t.Fatalf("op %d: Fill(%#x) hit diverged: ref %v, soa %v", op, a, rr.Hit, sr.Hit)
+			}
+			checkEv(op, "Fill", rr.Evicted, sr.Evicted)
+		case 7: // private-level deferred fill (FillMissed / fillMissedWB)
+			if soa.Probe(a) {
+				continue // contract: line must be absent
+			}
+			if owner == 0 && rng.Uint64n(2) == 0 {
+				rr := ref.Fill(a, 0, false, write)
+				v, wb := soa.fillMissedWB(a, write)
+				wantWB := rr.Evicted.Valid && rr.Evicted.Dirty
+				if wb != wantWB || (wb && v != rr.Evicted.LineAddr) {
+					t.Fatalf("op %d: fillMissedWB(%#x) diverged: ref %+v, soa (%#x,%v)",
+						op, a, rr.Evicted, v, wb)
+				}
+			} else {
+				rr := ref.Fill(a, owner, false, write)
+				sr := soa.FillMissed(a, owner, false, write)
+				checkEv(op, "FillMissed", rr.Evicted, sr.Evicted)
+			}
+		case 8: // back-invalidation
+			re, rok := ref.Invalidate(a)
+			se, sok := soa.Invalidate(a)
+			if rok != sok {
+				t.Fatalf("op %d: Invalidate(%#x) found diverged: ref %v, soa %v", op, a, rok, sok)
+			}
+			checkEv(op, "Invalidate", re, se)
+		case 9: // writeback from an upper level
+			if ref.MarkDirty(a) != soa.MarkDirty(a) {
+				t.Fatalf("op %d: MarkDirty(%#x) diverged", op, a)
+			}
+		}
+	}
+
+	for ow := 0; ow < cfg.Owners; ow++ {
+		if ref.stats[ow] != soa.Stats(Owner(ow)) {
+			t.Errorf("owner %d stats diverged:\nref: %+v\nsoa: %+v",
+				ow, ref.stats[ow], soa.Stats(Owner(ow)))
+		}
+	}
+	// Full-residency sweep: both models must hold exactly the same lines.
+	for l := uint64(0); l < spanLines; l++ {
+		a := Addr(l * uint64(cfg.LineSize))
+		if ref.Probe(a) != soa.Probe(a) {
+			t.Fatalf("final residency of %#x diverged: ref %v, soa %v", a, ref.Probe(a), soa.Probe(a))
+		}
+	}
+}
+
+// TestEquivalenceAfterFlush checks the SoA reset paths (Flush and
+// per-way clears) leave replacement state identical to the reference's.
+func TestEquivalenceAfterFlush(t *testing.T) {
+	for _, pol := range []PolicyKind{LRU, PseudoLRU, Nehalem, Random} {
+		cfg := Config{Name: "flush", Size: 8 << 10, Ways: 4, LineSize: 64, Policy: pol, Owners: 1}
+		ref := newRefCache(cfg)
+		soa := MustNew(cfg)
+		rng := stats.NewRNG(7)
+		fill := func() {
+			for i := 0; i < 2000; i++ {
+				a := Addr(rng.Uint64n(1024) * 64)
+				ref.Fill(a, 0, false, false)
+				soa.Fill(a, 0, false, false)
+			}
+		}
+		fill()
+		for i := range ref.sets {
+			s := &ref.sets[i]
+			for w := range s.lines {
+				s.lines[w] = refLine{}
+				s.stamp[w] = 0
+			}
+			s.tree = 0
+		}
+		soa.Flush()
+		fill()
+		for l := uint64(0); l < 1024; l++ {
+			if ref.Probe(Addr(l*64)) != soa.Probe(Addr(l*64)) {
+				t.Fatalf("%s: post-flush residency of line %d diverged", pol, l)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"cachepirate/internal/prefetch"
 )
@@ -96,7 +97,11 @@ type Hierarchy struct {
 	l3  *Cache
 	pf  []prefetch.Prefetcher
 
-	lineSize int64
+	lineSize  int64
+	lineShift uint // log2(lineSize)
+	// hasPF is false when no prefetcher was configured: the training
+	// step (an interface call per L3 access) is skipped entirely.
+	hasPF bool
 	// fullBackInval makes L3 evictions back-invalidate every core's
 	// private copies instead of only the filler's. Required once
 	// shared address spaces exist (several cores may cache one line);
@@ -109,7 +114,12 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	h := &Hierarchy{cfg: cfg, lineSize: cfg.L3.LineSize}
+	h := &Hierarchy{
+		cfg:       cfg,
+		lineSize:  cfg.L3.LineSize,
+		lineShift: uint(bits.TrailingZeros64(uint64(cfg.L3.LineSize))),
+		hasPF:     cfg.NewPrefetcher != nil,
+	}
 	for i := 0; i < cfg.Cores; i++ {
 		l1cfg := cfg.L1
 		l1cfg.Owners = 1
@@ -176,32 +186,35 @@ func (h *Hierarchy) LineSize() int64 { return h.lineSize }
 func (h *Hierarchy) Access(core int, addr Addr, write bool) Outcome {
 	var out Outcome
 	owner := Owner(core)
-	l1, l2 := h.l1[core], h.l2[core]
 
-	if r := l1.Access(addr, write, 0); r.Hit {
+	if hit, _ := h.l1[core].demand(addr, write, 0); hit {
 		out.ServedBy = LevelL1
 		return out
 	}
 
-	if r := l2.Access(addr, write, 0); r.Hit {
+	if hit, _ := h.l2[core].demand(addr, write, 0); hit {
 		out.ServedBy = LevelL2
 		h.fillL1(core, addr, write, &out)
 		return out
 	}
 
 	// The access reaches the shared L3: one port use, and the per-core
-	// prefetcher observes the demand line stream here.
+	// prefetcher observes the demand line stream here. AccessFill fuses
+	// the demand lookup with the miss fill, so the L3's set is scanned
+	// once whether the access hits or misses.
 	out.L3Accesses++
-	r3 := h.l3.Access(addr, write, owner)
+	r3 := h.l3.AccessFill(addr, write, owner)
 	if r3.Hit {
 		out.ServedBy = LevelL3
 		out.PrefetchHit = r3.WasPrefetch
 	} else {
 		out.ServedBy = LevelMem
 		out.MemReadBytes += h.lineSize
-		h.fillL3(core, addr, false, &out)
+		h.backInvalidate(r3.Evicted, &out)
 	}
-	h.trainPrefetcher(core, addr, !r3.Hit, &out)
+	if h.hasPF {
+		h.trainPrefetcher(core, addr, !r3.Hit, &out)
+	}
 
 	// Fill the private levels.
 	h.fillL2(core, addr, &out)
@@ -249,18 +262,18 @@ func (h *Hierarchy) InvalidateRemoteCopies(core int, addr Addr) (invalidated int
 // Bandwidth Bandit needs.
 func (h *Hierarchy) AccessNonTemporal(core int, addr Addr) Outcome {
 	var out Outcome
-	if r := h.l1[core].Access(addr, false, 0); r.Hit {
+	if hit, _ := h.l1[core].demand(addr, false, 0); hit {
 		out.ServedBy = LevelL1
 		return out
 	}
-	if r := h.l2[core].Access(addr, false, 0); r.Hit {
+	if hit, _ := h.l2[core].demand(addr, false, 0); hit {
 		out.ServedBy = LevelL2
 		return out
 	}
 	out.L3Accesses++
-	if r := h.l3.Access(addr, false, Owner(core)); r.Hit {
+	if hit, wasPref := h.l3.demand(addr, false, Owner(core)); hit {
 		out.ServedBy = LevelL3
-		out.PrefetchHit = r.WasPrefetch
+		out.PrefetchHit = wasPref
 		return out
 	}
 	out.ServedBy = LevelMem
@@ -269,35 +282,34 @@ func (h *Hierarchy) AccessNonTemporal(core int, addr Addr) Outcome {
 }
 
 // trainPrefetcher feeds the demand access into core's prefetcher and
-// performs any proposed prefetch fills into L3.
+// performs any proposed prefetch fills into L3. Fill's residency check
+// doubles as the probe: on an already-resident line a prefetch-marked
+// Fill is a no-op (no counters, no replacement touch), exactly what the
+// old Probe-then-skip did, so each proposal costs one set scan.
 func (h *Hierarchy) trainPrefetcher(core int, addr Addr, miss bool, out *Outcome) {
-	lineAddr := uint64(addr) / uint64(h.lineSize)
+	lineAddr := uint64(addr) >> h.lineShift
 	for _, pl := range h.pf[core].Observe(lineAddr, miss) {
-		pa := Addr(pl * uint64(h.lineSize))
-		if h.l3.Probe(pa) {
-			continue
+		pa := Addr(pl << h.lineShift)
+		r := h.l3.Fill(pa, Owner(core), true, false)
+		if r.Hit {
+			continue // already resident; nothing was disturbed
 		}
 		out.L3Accesses++
 		out.MemReadBytes += h.lineSize
 		out.Prefetches++
-		h.fillL3(core, pa, true, out)
+		h.backInvalidate(r.Evicted, out)
 	}
 }
 
-// fillL3 installs a line into the inclusive L3, back-invalidating the
-// evicted victim from its owner's private levels.
-func (h *Hierarchy) fillL3(core int, addr Addr, isPrefetch bool, out *Outcome) {
-	// Write-allocate: the demanded line is dirtied in L1 by the store;
-	// the L3 copy stays clean until a writeback reaches it.
-	r := h.l3.Fill(addr, Owner(core), isPrefetch, false)
-	if !r.Evicted.Valid {
+// backInvalidate removes an evicted L3 victim from the private caches.
+// Inclusive L3: evicting a line removes it from the private caches
+// too. Dirty private copies must reach memory. Without shared address
+// spaces only the filling owner can hold a copy; with them every core
+// must be probed.
+func (h *Hierarchy) backInvalidate(ev Evicted, out *Outcome) {
+	if !ev.Valid {
 		return
 	}
-	// Inclusive L3: evicting a line removes it from the private caches
-	// too. Dirty private copies must reach memory. Without shared
-	// address spaces only the filling owner can hold a copy; with them
-	// every core must be probed.
-	ev := r.Evicted
 	dirty := ev.Dirty
 	if h.fullBackInval {
 		for c := 0; c < h.cfg.Cores; c++ {
@@ -327,25 +339,28 @@ func (h *Hierarchy) fillL3(core int, addr Addr, isPrefetch bool, out *Outcome) {
 func (h *Hierarchy) SetFullBackInvalidate(on bool) { h.fullBackInval = on }
 
 // fillL2 installs a line into core's L2, handling the victim's
-// writeback into the (inclusive) L3.
+// writeback into the (inclusive) L3. The line is known absent: the L2
+// missed earlier in this access and nothing between that miss and this
+// fill adds L2 lines (L3 fills and back-invalidations only remove
+// them), so FillMissed skips the residency re-scan.
 func (h *Hierarchy) fillL2(core int, addr Addr, out *Outcome) {
-	r := h.l2[core].Fill(addr, 0, false, false)
-	if r.Evicted.Valid && r.Evicted.Dirty {
+	if v, wb := h.l2[core].fillMissedWB(addr, false); wb {
 		// Inclusive L3 normally still holds the line; if it was
 		// concurrently evicted the data must go straight to memory.
-		if !h.l3.MarkDirty(r.Evicted.LineAddr) {
+		if !h.l3.MarkDirty(v) {
 			out.MemWriteBytes += h.lineSize
 		}
 	}
 }
 
 // fillL1 installs a line into core's L1, handling the victim's
-// writeback into L2 (or L3 if L2 no longer has it).
+// writeback into L2 (or L3 if L2 no longer has it). As in fillL2, the
+// line is known absent since the L1 miss that started this access, so
+// the residency re-scan is skipped.
 func (h *Hierarchy) fillL1(core int, addr Addr, write bool, out *Outcome) {
-	r := h.l1[core].Fill(addr, 0, false, write)
-	if r.Evicted.Valid && r.Evicted.Dirty {
-		if !h.l2[core].MarkDirty(r.Evicted.LineAddr) {
-			if !h.l3.MarkDirty(r.Evicted.LineAddr) {
+	if v, wb := h.l1[core].fillMissedWB(addr, write); wb {
+		if !h.l2[core].MarkDirty(v) {
+			if !h.l3.MarkDirty(v) {
 				out.MemWriteBytes += h.lineSize
 			}
 		}
@@ -358,14 +373,13 @@ func (h *Hierarchy) FlushCore(core int) {
 	h.l1[core].Flush()
 	h.l2[core].Flush()
 	// Remove the core's lines from the shared L3 one by one.
-	owner := Owner(core)
+	ow := int32(core)
 	l3 := h.l3
-	for i := range l3.sets {
-		s := &l3.sets[i]
-		for w := range s.lines {
-			if s.lines[w].valid && s.lines[w].owner == owner {
-				s.lines[w] = line{}
-				s.stamp[w] = 0
+	for si := uint64(0); si < l3.nsets; si++ {
+		base := int(si) * l3.ways
+		for w := 0; w < l3.ways; w++ {
+			if idx := base + w; l3.tags[idx] != invalidTag && l3.owner[idx] == ow {
+				l3.clearLine(si, base, w)
 			}
 		}
 	}

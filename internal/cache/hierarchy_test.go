@@ -139,12 +139,10 @@ func TestInclusionInvariant(t *testing.T) {
 	}
 	for core := 0; core < 2; core++ {
 		for _, lvl := range []*Cache{h.L1(core), h.L2(core)} {
-			for si := range lvl.sets {
-				for _, ln := range lvl.sets[si].lines {
-					if ln.valid && !h.L3().Probe(lvl.lineAddr(ln.tag)) {
-						t.Fatalf("core %d holds %#x in %s but not in L3",
-							core, lvl.lineAddr(ln.tag), lvl.cfg.Name)
-					}
+			for _, tg := range lvl.tags {
+				if tg != invalidTag && !h.L3().Probe(lvl.lineAddr(tg)) {
+					t.Fatalf("core %d holds %#x in %s but not in L3",
+						core, lvl.lineAddr(tg), lvl.cfg.Name)
 				}
 			}
 		}

@@ -1,0 +1,73 @@
+package machine
+
+import (
+	"testing"
+
+	"cachepirate/internal/prefetch"
+	"cachepirate/internal/stats"
+	"cachepirate/internal/trace"
+	"cachepirate/internal/workload"
+)
+
+// randomTrace builds a deterministic random trace spanning span bytes.
+func randomTrace(n int, span uint64) *trace.Trace {
+	rng := stats.NewRNG(3)
+	tr := &trace.Trace{Records: make([]trace.Record, n)}
+	for i := range tr.Records {
+		tr.Records[i] = trace.Record{
+			NInstr: uint32(rng.Uint64n(8)),
+			Addr:   rng.Uint64n(span/64) * 64,
+			Write:  rng.Uint64n(4) == 0,
+		}
+	}
+	return tr
+}
+
+// TestReplayAllocFree pins the allocation-free replay contract: once a
+// machine is attached to a looping trace generator, the entire per-op
+// path — FromTrace.Next, trace replay, stepCore, every cache level's
+// probe/fill, and the bandwidth servers — must not allocate. A single
+// allocation per op would dominate the sweep's runtime and gate the
+// parallel workers on the allocator.
+func TestReplayAllocFree(t *testing.T) {
+	cases := []struct {
+		name string
+		pf   func() prefetch.Prefetcher
+	}{
+		{"no-prefetch", nil},
+		{"stream-prefetch", func() prefetch.Prefetcher {
+			return prefetch.NewStream(prefetch.StreamConfig{})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := NehalemConfigNoPrefetch()
+			cfg.NewPrefetcher = tc.pf
+			m := MustNew(cfg)
+			// Working set spills the L3 so misses, evictions and
+			// back-invalidations all run, not just the L1 hit path.
+			tr := randomTrace(20_000, 2*uint64(cfg.L3.Size))
+			m.MustAttach(0, workload.NewFromTrace("alloc", tr, 1, 0))
+			m.RunSteps(5000) // warm: maps, prefetch state, server cursors
+
+			avg := testing.AllocsPerRun(2000, func() {
+				m.Step()
+			})
+			if avg != 0 {
+				t.Errorf("replay path allocates %.2f allocs/op, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestGeneratorNextAllocFree pins the generator side alone: replaying a
+// trace through FromTrace must not allocate per op.
+func TestGeneratorNextAllocFree(t *testing.T) {
+	gen := workload.NewFromTrace("alloc", randomTrace(4096, 1<<20), 1, 0)
+	avg := testing.AllocsPerRun(5000, func() {
+		gen.Next()
+	})
+	if avg != 0 {
+		t.Errorf("FromTrace.Next allocates %.2f allocs/op, want 0", avg)
+	}
+}

@@ -234,9 +234,10 @@ func (m *Machine) runnable(core int) bool {
 	return m.procs[core] != nil && !m.cores[core].Suspended()
 }
 
-// Step executes one op on the runnable core with the smallest cycle
-// clock. It returns false when no core is runnable.
-func (m *Machine) Step() bool {
+// selectCore returns the runnable core with the smallest cycle clock,
+// or -1 when nothing is runnable — the single scheduling rule shared by
+// Step and RunCycles.
+func (m *Machine) selectCore() int {
 	sel := -1
 	for i := range m.cores {
 		if !m.runnable(i) {
@@ -246,6 +247,13 @@ func (m *Machine) Step() bool {
 			sel = i
 		}
 	}
+	return sel
+}
+
+// Step executes one op on the runnable core with the smallest cycle
+// clock. It returns false when no core is runnable.
+func (m *Machine) Step() bool {
+	sel := m.selectCore()
 	if sel < 0 {
 		return false
 	}
@@ -277,11 +285,12 @@ func (m *Machine) stepCore(core int) {
 	op := p.pending
 	p.hasPending = false
 	now := c.Cycles()
+	addr := cache.Addr(op.Addr + p.offset) // offset-adjusted address, computed once
 	var out cache.Outcome
 	if op.NonTemporal {
-		out = m.hier.AccessNonTemporal(core, cache.Addr(op.Addr+p.offset))
+		out = m.hier.AccessNonTemporal(core, addr)
 	} else {
-		out = m.hier.Access(core, cache.Addr(op.Addr+p.offset), op.Write)
+		out = m.hier.Access(core, addr, op.Write)
 	}
 
 	var l3Queue, memDelay float64
@@ -318,7 +327,7 @@ func (m *Machine) stepCore(core int) {
 	if p.shared && op.Write && !op.NonTemporal {
 		// Write-invalidate coherence: evict sibling copies; finding
 		// any costs an upgrade round-trip through the shared L3.
-		inv, wb := m.hier.InvalidateRemoteCopies(core, cache.Addr(op.Addr+p.offset))
+		inv, wb := m.hier.InvalidateRemoteCopies(core, addr)
 		if inv > 0 {
 			cost += m.cfg.CPU.L3Cost
 		}
@@ -366,15 +375,7 @@ func (m *Machine) RunInstructions(core int, n uint64) error {
 func (m *Machine) RunCycles(n float64) {
 	deadline := m.now + n
 	for {
-		sel := -1
-		for i := range m.cores {
-			if !m.runnable(i) {
-				continue
-			}
-			if sel < 0 || m.cores[i].Cycles() < m.cores[sel].Cycles() {
-				sel = i
-			}
-		}
+		sel := m.selectCore()
 		if sel < 0 || m.cores[sel].Cycles() >= deadline {
 			return
 		}

@@ -57,9 +57,11 @@ func Analyze(tr *trace.Trace, maxDistance int) (*Histogram, error) {
 	}
 
 	// Fenwick tree over access positions: tree[i] = 1 when position i
-	// is the most recent access to its line.
+	// is the most recent access to its line. The map holds at most one
+	// entry per distinct line, bounded by the trace length — pre-sizing
+	// from it avoids the incremental rehash-and-copy growth.
 	fen := newFenwick(n)
-	last := make(map[uint64]int, 1024) // line -> last position
+	last := make(map[uint64]int, n) // line -> last position
 
 	for pos, r := range tr.Records {
 		line := r.Addr >> 6
@@ -206,7 +208,7 @@ func Distances(tr *trace.Trace) []int64 {
 	n := tr.Len()
 	out := make([]int64, n)
 	fen := newFenwick(n)
-	last := make(map[uint64]int, 1024)
+	last := make(map[uint64]int, n)
 	for pos, r := range tr.Records {
 		line := r.Addr >> 6
 		if prev, seen := last[line]; seen {

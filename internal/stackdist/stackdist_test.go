@@ -253,3 +253,20 @@ func TestCigarKneeRecovered(t *testing.T) {
 		t.Errorf("no 6MB knee: missratio 5MB=%g 7MB=%g", before, after)
 	}
 }
+
+// BenchmarkAnalyze tracks the Fenwick-tree path's throughput (and the
+// last-position map's allocation behaviour) on a random 64K-line trace.
+func BenchmarkAnalyze(b *testing.B) {
+	rng := stats.NewRNG(7)
+	t := &trace.Trace{Records: make([]trace.Record, 200_000)}
+	for i := range t.Records {
+		t.Records[i] = trace.Record{Addr: rng.Uint64n(1<<16) * 64}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(t, 1<<15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
