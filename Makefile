@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-quick bench-kernel vet fmt experiments examples cover
+.PHONY: build test test-short bench bench-quick bench-kernel vet fmt experiments examples cover fuzz staticcheck
 
 build:
 	$(GO) build ./...
@@ -50,3 +50,17 @@ examples:
 
 cover:
 	$(GO) test -cover ./...
+
+# Fuzz every target for FUZZTIME each (seeded from the checked-in
+# corpora under testdata/fuzz/). Failing inputs land in testdata/fuzz/
+# and replay deterministically with `go run ./cmd/conformance replay`.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz '^FuzzKernel$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/conformance
+	$(GO) test -fuzz '^FuzzHierarchy$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/conformance
+	$(GO) test -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace
+
+# Fetches staticcheck via the toolchain; the module itself stays
+# stdlib-only.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@latest ./...

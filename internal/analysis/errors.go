@@ -49,7 +49,18 @@ func MetricErrors(measured, reference *Curve, m metric) (ErrorSummary, error) {
 		if err != nil {
 			return sum, err
 		}
-		abs := math.Abs(m(p) - ref)
+		mv := m(p)
+		// A NaN or Inf would otherwise poison the suite-wide means
+		// silently; fail loudly instead and name the offending point.
+		if !finite(mv) {
+			return sum, fmt.Errorf("analysis: non-finite metric %g on curve %q at %d bytes",
+				mv, measured.Name, p.CacheBytes)
+		}
+		if !finite(ref) {
+			return sum, fmt.Errorf("analysis: non-finite reference %g on curve %q at %d bytes",
+				ref, reference.Name, p.CacheBytes)
+		}
+		abs := math.Abs(mv - ref)
 		absSum += abs
 		if abs > sum.AbsMax {
 			sum.AbsMax = abs
@@ -72,6 +83,9 @@ func MetricErrors(measured, reference *Curve, m metric) (ErrorSummary, error) {
 	}
 	return sum, nil
 }
+
+// finite reports whether x is a usable measurement value.
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
 // Aggregate folds several per-benchmark summaries into suite-wide
 // average/maximum figures (the "average and maximum absolute fetch

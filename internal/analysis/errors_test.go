@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// curveOf builds a trusted curve from (cacheBytes, fetchRatio) pairs.
+func curveOf(name string, pts ...[2]float64) *Curve {
+	c := &Curve{Name: name}
+	for _, p := range pts {
+		c.Points = append(c.Points, Point{
+			CacheBytes: int64(p[0]), FetchRatio: p[1], CPI: p[1], Trusted: true,
+		})
+	}
+	return c
+}
+
+// TestMetricErrorsErrorPaths is the table-driven sweep of malformed
+// inputs: every row must fail with a message naming the problem, never
+// return a summary containing NaN/Inf, and never panic.
+func TestMetricErrorsErrorPaths(t *testing.T) {
+	good := curveOf("good", [2]float64{1024, 0.5}, [2]float64{2048, 0.3})
+	untrusted := curveOf("untrusted", [2]float64{1024, 0.5})
+	untrusted.Points[0].Trusted = false
+
+	nanCurve := curveOf("nan", [2]float64{1024, math.NaN()})
+	infCurve := curveOf("inf", [2]float64{1024, math.Inf(1)})
+	nanRef := curveOf("nanref", [2]float64{512, math.NaN()}, [2]float64{4096, math.NaN()})
+
+	cases := []struct {
+		name      string
+		measured  *Curve
+		reference *Curve
+		wantErr   string
+	}{
+		{"empty measured", &Curve{Name: "empty"}, good, "no trusted points"},
+		{"no trusted points", untrusted, good, "no trusted points"},
+		{"empty reference", good, &Curve{Name: "empty-ref"}, "empty curve"},
+		{"NaN measurement", nanCurve, good, "non-finite metric"},
+		{"Inf measurement", infCurve, good, "non-finite metric"},
+		{"NaN reference", good, nanRef, "non-finite reference"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sum, err := FetchRatioErrors(tc.measured, tc.reference)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got summary %+v", tc.wantErr, sum)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+			for what, v := range map[string]float64{
+				"AbsMean": sum.AbsMean, "AbsMax": sum.AbsMax,
+				"RelMean": sum.RelMean, "RelMax": sum.RelMax,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("summary leaked non-finite %s = %g", what, v)
+				}
+			}
+		})
+	}
+}
+
+// TestMetricErrorsSkippedZero: near-zero reference values must be
+// excluded from the relative error (the 453.povray caveat), not
+// produce Inf.
+func TestMetricErrorsSkippedZero(t *testing.T) {
+	measured := curveOf("m", [2]float64{1024, 0.1}, [2]float64{2048, 0.2})
+	reference := curveOf("r", [2]float64{1024, 0}, [2]float64{2048, 0.25})
+	sum, err := FetchRatioErrors(measured, reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.SkippedZero != 1 {
+		t.Fatalf("SkippedZero = %d, want 1", sum.SkippedZero)
+	}
+	if sum.Points != 2 {
+		t.Fatalf("Points = %d, want 2 (absolute errors still counted)", sum.Points)
+	}
+	if math.IsInf(sum.RelMax, 0) || math.IsNaN(sum.RelMean) {
+		t.Fatalf("relative errors not finite: %+v", sum)
+	}
+	// Exactly one relative point: |0.2-0.25|/0.25 = 0.2.
+	if math.Abs(sum.RelMean-0.2) > 1e-12 {
+		t.Fatalf("RelMean = %g, want 0.2", sum.RelMean)
+	}
+}
+
+// TestAggregateEdgeCases: empty input must not divide by zero, and
+// the folded maxima/means must be exact.
+func TestAggregateEdgeCases(t *testing.T) {
+	zero := Aggregate(nil)
+	if zero.Points != 0 || zero.AbsMean != 0 || zero.RelMean != 0 {
+		t.Fatalf("Aggregate(nil) not zero-valued: %+v", zero)
+	}
+	sums := []ErrorSummary{
+		{Points: 2, AbsMean: 0.1, AbsMax: 0.3, RelMean: 0.05, RelMax: 0.2, SkippedZero: 1},
+		{Points: 3, AbsMean: 0.3, AbsMax: 0.2, RelMean: 0.15, RelMax: 0.4},
+	}
+	out := Aggregate(sums)
+	if out.Points != 5 || out.SkippedZero != 1 {
+		t.Fatalf("counts wrong: %+v", out)
+	}
+	if math.Abs(out.AbsMean-0.2) > 1e-12 || math.Abs(out.RelMean-0.1) > 1e-12 {
+		t.Fatalf("means wrong: %+v", out)
+	}
+	if out.AbsMax != 0.3 || out.RelMax != 0.4 {
+		t.Fatalf("maxima wrong: %+v", out)
+	}
+}
+
+// TestCurveAtErrorPaths: interpolation on degenerate curves must
+// return errors, not garbage.
+func TestCurveAtErrorPaths(t *testing.T) {
+	if _, err := (&Curve{Name: "e"}).CPIAt(1024); err == nil {
+		t.Fatal("empty curve interpolated without error")
+	}
+	one := curveOf("one", [2]float64{1024, 0.7})
+	v, err := one.CPIAt(4096)
+	if err != nil {
+		t.Fatalf("single-point curve: %v", err)
+	}
+	if v != 0.7 {
+		t.Fatalf("single-point curve should clamp: got %g", v)
+	}
+}

@@ -524,6 +524,44 @@ func (c *Cache) ResidentBytes(owner Owner) int64 {
 	return int64(c.ResidentLines(owner)) * c.cfg.LineSize
 }
 
+// LineInfo describes one valid line during a ForEachLine walk.
+type LineInfo struct {
+	Set      int
+	Way      int
+	LineAddr Addr // address of the first byte of the line
+	Owner    Owner
+	Dirty    bool
+	Prefetch bool
+}
+
+// ForEachLine calls fn for every valid line in set/way order, stopping
+// early if fn returns false. It is O(cache size) and read-only;
+// intended for invariant checkers (inclusivity, residency accounting)
+// and diagnostics, not hot paths.
+func (c *Cache) ForEachLine(fn func(LineInfo) bool) {
+	for si := uint64(0); si < c.nsets; si++ {
+		base := int(si) * c.ways
+		for w := 0; w < c.ways; w++ {
+			idx := base + w
+			tg := c.tags[idx]
+			if tg == invalidTag {
+				continue
+			}
+			f := c.flags[idx]
+			if !fn(LineInfo{
+				Set:      int(si),
+				Way:      w,
+				LineAddr: c.lineAddr(tg),
+				Owner:    Owner(c.owner[idx]),
+				Dirty:    f&flagDirty != 0,
+				Prefetch: f&flagPrefetch != 0,
+			}) {
+				return
+			}
+		}
+	}
+}
+
 // touch updates replacement metadata for a hit on or (re)fill of way w
 // in the set starting at base.
 func (c *Cache) touch(si uint64, base, w int) {

@@ -6,283 +6,14 @@ import (
 	"cachepirate/internal/stats"
 )
 
-// This file keeps the original array-of-structs cache model (the layout
-// the SoA kernel replaced) as an executable reference, and replays
-// randomized operation streams through both implementations asserting
-// identical hit/miss/eviction sequences for every policy. Any
-// divergence — a different victim, a dropped writeback, a replacement
-// state drift — fails on the exact operation where it first appears.
-
-// refLine is one cache line's bookkeeping in the reference layout.
-type refLine struct {
-	tag      uint64
-	valid    bool
-	dirty    bool
-	prefetch bool
-	owner    Owner
-}
-
-// refSet is one associative set: lines plus policy metadata.
-type refSet struct {
-	lines []refLine
-	// stamp holds per-way LRU timestamps (LRU policy) or accessed bits
-	// (Nehalem policy, 0/1).
-	stamp []uint64
-	tree  uint64 // pseudo-LRU tree bits
-}
-
-// refCache is the pre-SoA array-of-structs model, verbatim except for
-// renames. It scans line structs instead of a dense tag array and
-// re-finds the set on every Fill.
-type refCache struct {
-	cfg      Config
-	sets     []refSet
-	nsets    uint64
-	shift    uint
-	clock    uint64
-	rngState uint64
-	stats    []OwnerStats
-}
-
-func newRefCache(cfg Config) *refCache {
-	nsets := cfg.Sets()
-	shift := uint(0)
-	for ls := uint64(cfg.LineSize); ls > 1; ls >>= 1 {
-		shift++
-	}
-	c := &refCache{
-		cfg:      cfg,
-		sets:     make([]refSet, nsets),
-		nsets:    uint64(nsets),
-		shift:    shift,
-		rngState: 0x853C49E6748FEA9B,
-		stats:    make([]OwnerStats, cfg.Owners),
-	}
-	for i := range c.sets {
-		c.sets[i].lines = make([]refLine, cfg.Ways)
-		c.sets[i].stamp = make([]uint64, cfg.Ways)
-	}
-	return c
-}
-
-func (c *refCache) index(a Addr) (setIdx uint64, tag uint64) {
-	lineAddr := uint64(a) >> c.shift
-	return lineAddr % c.nsets, lineAddr
-}
-
-func (c *refCache) lineAddr(tag uint64) Addr { return Addr(tag << c.shift) }
-
-func (c *refCache) Access(a Addr, write bool, owner Owner) Result {
-	si, tag := c.index(a)
-	s := &c.sets[si]
-	st := &c.stats[owner]
-	st.Accesses++
-	if write {
-		st.Writes++
-	}
-	for w := range s.lines {
-		ln := &s.lines[w]
-		if ln.valid && ln.tag == tag {
-			st.Hits++
-			wasPref := ln.prefetch
-			if wasPref {
-				ln.prefetch = false
-				st.PrefetchHits++
-			}
-			if write {
-				ln.dirty = true
-			}
-			c.touch(s, w)
-			return Result{Hit: true, WasPrefetch: wasPref}
-		}
-	}
-	st.Misses++
-	return Result{}
-}
-
-func (c *refCache) Probe(a Addr) bool {
-	si, tag := c.index(a)
-	s := &c.sets[si]
-	for w := range s.lines {
-		if s.lines[w].valid && s.lines[w].tag == tag {
-			return true
-		}
-	}
-	return false
-}
-
-func (c *refCache) Fill(a Addr, owner Owner, prefetch, dirty bool) Result {
-	si, tag := c.index(a)
-	s := &c.sets[si]
-	st := &c.stats[owner]
-
-	for w := range s.lines {
-		ln := &s.lines[w]
-		if ln.valid && ln.tag == tag {
-			if dirty {
-				ln.dirty = true
-			}
-			if !prefetch {
-				ln.prefetch = false
-				c.touch(s, w)
-			}
-			return Result{Hit: true}
-		}
-	}
-
-	st.Fills++
-	if prefetch {
-		st.PrefetchFills++
-	}
-
-	victim := -1
-	for w := range s.lines {
-		if !s.lines[w].valid {
-			victim = w
-			break
-		}
-	}
-	var res Result
-	if victim < 0 {
-		victim = c.victim(s)
-		v := &s.lines[victim]
-		res.Evicted = Evicted{
-			Valid:    true,
-			LineAddr: c.lineAddr(v.tag),
-			Dirty:    v.dirty,
-			Owner:    v.owner,
-			Prefetch: v.prefetch,
-		}
-		c.stats[v.owner].Evictions++
-		if v.dirty {
-			c.stats[v.owner].Writebacks++
-		}
-	}
-	s.lines[victim] = refLine{tag: tag, valid: true, dirty: dirty, prefetch: prefetch, owner: owner}
-	c.touch(s, victim)
-	return res
-}
-
-func (c *refCache) MarkDirty(a Addr) bool {
-	si, tag := c.index(a)
-	s := &c.sets[si]
-	for w := range s.lines {
-		if s.lines[w].valid && s.lines[w].tag == tag {
-			s.lines[w].dirty = true
-			return true
-		}
-	}
-	return false
-}
-
-func (c *refCache) Invalidate(a Addr) (Evicted, bool) {
-	si, tag := c.index(a)
-	s := &c.sets[si]
-	for w := range s.lines {
-		ln := &s.lines[w]
-		if ln.valid && ln.tag == tag {
-			ev := Evicted{Valid: true, LineAddr: c.lineAddr(ln.tag), Dirty: ln.dirty, Owner: ln.owner, Prefetch: ln.prefetch}
-			*ln = refLine{}
-			s.stamp[w] = 0
-			return ev, true
-		}
-	}
-	return Evicted{}, false
-}
-
-func (c *refCache) touch(s *refSet, w int) {
-	switch c.cfg.Policy {
-	case LRU:
-		c.clock++
-		s.stamp[w] = c.clock
-	case PseudoLRU:
-		c.plruTouch(s, w)
-	case Nehalem:
-		c.nehalemTouch(s, w)
-	case Random:
-	}
-}
-
-func (c *refCache) victim(s *refSet) int {
-	switch c.cfg.Policy {
-	case LRU:
-		best, bestStamp := 0, s.stamp[0]
-		for w := 1; w < len(s.lines); w++ {
-			if s.stamp[w] < bestStamp {
-				best, bestStamp = w, s.stamp[w]
-			}
-		}
-		return best
-	case PseudoLRU:
-		return c.plruVictim(s)
-	case Nehalem:
-		return c.nehalemVictim(s)
-	case Random:
-		x := c.rngState
-		x ^= x >> 12
-		x ^= x << 25
-		x ^= x >> 27
-		c.rngState = x
-		return int((x * 0x2545F4914F6CDD1D) % uint64(len(s.lines)))
-	}
-	return 0
-}
-
-func (c *refCache) nehalemTouch(s *refSet, w int) {
-	s.stamp[w] = 1
-	for i := range s.stamp {
-		if s.lines[i].valid || i == w {
-			if s.stamp[i] == 0 {
-				return
-			}
-		}
-	}
-	for i := range s.stamp {
-		if i != w {
-			s.stamp[i] = 0
-		}
-	}
-}
-
-func (c *refCache) nehalemVictim(s *refSet) int {
-	for w := range s.stamp {
-		if s.stamp[w] == 0 {
-			return w
-		}
-	}
-	return 0
-}
-
-func (c *refCache) plruTouch(s *refSet, w int) {
-	n := len(s.lines)
-	node := 1
-	lo, hi := 0, n
-	for hi-lo > 1 {
-		mid := (lo + hi) / 2
-		if w < mid {
-			s.tree |= 1 << uint(node)
-			node, hi = 2*node, mid
-		} else {
-			s.tree &^= 1 << uint(node)
-			node, lo = 2*node+1, mid
-		}
-	}
-}
-
-func (c *refCache) plruVictim(s *refSet) int {
-	n := len(s.lines)
-	node := 1
-	lo, hi := 0, n
-	for hi-lo > 1 {
-		mid := (lo + hi) / 2
-		if s.tree&(1<<uint(node)) == 0 {
-			node, hi = 2*node, mid
-		} else {
-			node, lo = 2*node+1, mid
-		}
-	}
-	return lo
-}
+// This file replays randomized operation streams through the exported
+// array-of-structs Reference model (reference.go — the layout the SoA
+// kernel replaced) and the SoA implementation, asserting identical
+// hit/miss/eviction sequences for every policy. Any divergence — a
+// different victim, a dropped writeback, a replacement state drift —
+// fails on the exact operation where it first appears.
+// internal/conformance builds its fuzz- and property-based harness on
+// the same oracle.
 
 // equivConfigs returns the geometries the equivalence suite exercises
 // for a policy: a typical power-of-two-sets shape and (when the policy
@@ -317,7 +48,7 @@ func TestPolicyEquivalence(t *testing.T) {
 }
 
 func runEquivalence(t *testing.T, cfg Config) {
-	ref := newRefCache(cfg)
+	ref := MustNewReference(cfg)
 	soa := MustNew(cfg)
 	rng := stats.NewRNG(uint64(31 + cfg.Policy))
 	// Address span ~4x capacity so sets fill and evict constantly.
@@ -348,11 +79,7 @@ func runEquivalence(t *testing.T, cfg Config) {
 				t.Fatalf("op %d: Access(%#x) diverged: ref %+v, soa %+v", op, a, rr, sr)
 			}
 		case 3, 4, 5: // fused demand access+fill (the L3 hot path)
-			rr := ref.Access(a, write, owner)
-			if !rr.Hit {
-				rr = ref.Fill(a, owner, false, false)
-				rr.Hit = false // fused Result reports the demand miss
-			}
+			rr := ref.AccessFill(a, write, owner)
 			sr := soa.AccessFill(a, write, owner)
 			if rr.Hit != sr.Hit || rr.WasPrefetch != sr.WasPrefetch {
 				t.Fatalf("op %d: AccessFill(%#x) diverged: ref %+v, soa %+v", op, a, rr, sr)
@@ -399,9 +126,9 @@ func runEquivalence(t *testing.T, cfg Config) {
 	}
 
 	for ow := 0; ow < cfg.Owners; ow++ {
-		if ref.stats[ow] != soa.Stats(Owner(ow)) {
+		if ref.Stats(Owner(ow)) != soa.Stats(Owner(ow)) {
 			t.Errorf("owner %d stats diverged:\nref: %+v\nsoa: %+v",
-				ow, ref.stats[ow], soa.Stats(Owner(ow)))
+				ow, ref.Stats(Owner(ow)), soa.Stats(Owner(ow)))
 		}
 	}
 	// Full-residency sweep: both models must hold exactly the same lines.
@@ -418,7 +145,7 @@ func runEquivalence(t *testing.T, cfg Config) {
 func TestEquivalenceAfterFlush(t *testing.T) {
 	for _, pol := range []PolicyKind{LRU, PseudoLRU, Nehalem, Random} {
 		cfg := Config{Name: "flush", Size: 8 << 10, Ways: 4, LineSize: 64, Policy: pol, Owners: 1}
-		ref := newRefCache(cfg)
+		ref := MustNewReference(cfg)
 		soa := MustNew(cfg)
 		rng := stats.NewRNG(7)
 		fill := func() {
@@ -429,14 +156,7 @@ func TestEquivalenceAfterFlush(t *testing.T) {
 			}
 		}
 		fill()
-		for i := range ref.sets {
-			s := &ref.sets[i]
-			for w := range s.lines {
-				s.lines[w] = refLine{}
-				s.stamp[w] = 0
-			}
-			s.tree = 0
-		}
+		ref.Flush()
 		soa.Flush()
 		fill()
 		for l := uint64(0); l < 1024; l++ {

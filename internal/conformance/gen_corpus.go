@@ -1,0 +1,82 @@
+//go:build ignore
+
+// Corpus generator: writes the checked-in fuzz seed corpora under
+// internal/conformance/testdata/fuzz/ and internal/trace/testdata/fuzz/
+// in `go test fuzz v1` format. Regenerate after changing the stream
+// codecs:
+//
+//	go run internal/conformance/gen_corpus.go
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"cachepirate/internal/cache"
+	"cachepirate/internal/conformance"
+	"cachepirate/internal/stats"
+	"cachepirate/internal/trace"
+)
+
+func writeSeed(dir, name string, data []byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+}
+
+func main() {
+	kdir := filepath.Join("internal", "conformance", "testdata", "fuzz", "FuzzKernel")
+	hdir := filepath.Join("internal", "conformance", "testdata", "fuzz", "FuzzHierarchy")
+	tdir := filepath.Join("internal", "trace", "testdata", "fuzz", "FuzzRead")
+
+	// Kernel seeds: one generated stream per policy, cycling geometry
+	// and pattern so the corpus starts with coverage of every decode
+	// branch, plus adversarial single-set streams.
+	for i, pol := range []cache.PolicyKind{cache.LRU, cache.PseudoLRU, cache.Nehalem, cache.Random} {
+		pat := conformance.Patterns()[i%len(conformance.Patterns())]
+		cfg, _ := conformance.DecodeKernel([]byte{byte(int(pol) | (i%4)<<2)})
+		ops := conformance.GenOps(stats.NewRNG(uint64(100+i)), cfg, pat, 200)
+		writeSeed(kdir, fmt.Sprintf("seed-%s-%s", pol, pat), conformance.EncodeKernel(cfg, ops))
+	}
+	{
+		// Hammer + pingpong on the tiny high-pressure geometry.
+		cfg, _ := conformance.DecodeKernel([]byte{byte(0 | 1<<2)})
+		for _, pat := range []conformance.Pattern{conformance.PatternHammer, conformance.PatternPingPong} {
+			ops := conformance.GenOps(stats.NewRNG(uint64(7+int(pat))), cfg, pat, 200)
+			writeSeed(kdir, "seed-lru-tiny-"+pat.String(), conformance.EncodeKernel(cfg, ops))
+		}
+	}
+
+	// Hierarchy seeds: one generated multicore stream per shape.
+	for shape := 0; shape < 3; shape++ {
+		cfg, _ := conformance.DecodeHierarchy([]byte{byte(shape)})
+		ops := conformance.GenHOps(stats.NewRNG(uint64(200+shape)), cfg, 200)
+		writeSeed(hdir, fmt.Sprintf("seed-shape%d", shape), conformance.EncodeHierarchy(shape, ops))
+	}
+
+	// Trace seeds: a round-trippable encoded trace plus malformed
+	// variants that must be rejected without panicking.
+	tr := &trace.Trace{Records: []trace.Record{
+		{NInstr: 3, Addr: 0x1240, Write: true},
+		{Addr: 64},
+		{NInstr: 1, Addr: 0x40_0000},
+	}}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		log.Fatal(err)
+	}
+	writeSeed(tdir, "seed-valid", buf.Bytes())
+	writeSeed(tdir, "seed-header-only", []byte("CPTR1\n"))
+	writeSeed(tdir, "seed-overlong-varint", []byte("CPTR1\n\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	writeSeed(tdir, "seed-truncated", buf.Bytes()[:buf.Len()-2])
+}

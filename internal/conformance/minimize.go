@@ -1,0 +1,41 @@
+package conformance
+
+// Minimize shrinks a failing op stream to a smaller one that still
+// fails, using delta debugging (ddmin-style): repeatedly try dropping
+// chunks at halving granularity, keeping any removal that preserves
+// the failure. fails must be deterministic; it is called with candidate
+// streams and returns whether the failure reproduces.
+//
+// The result is 1-minimal with respect to single-op removal: deleting
+// any one remaining op makes the failure disappear. For kernel
+// divergences that typically means a handful of ops — the fills that
+// build the set state, then the op that exposes the bug.
+func Minimize(ops []Op, fails func([]Op) bool) []Op {
+	if len(ops) == 0 || !fails(ops) {
+		return ops
+	}
+	cur := append([]Op(nil), ops...)
+	chunk := len(cur) / 2
+	for chunk >= 1 {
+		removedAny := false
+		for start := 0; start+chunk <= len(cur); {
+			cand := make([]Op, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			if fails(cand) {
+				cur = cand
+				removedAny = true
+				// Do not advance: the chunk now at start is untested.
+			} else {
+				start += chunk
+			}
+		}
+		if chunk == 1 && !removedAny {
+			break
+		}
+		if chunk > 1 {
+			chunk /= 2
+		}
+	}
+	return cur
+}

@@ -1,0 +1,177 @@
+package conformance
+
+import (
+	"fmt"
+	"strings"
+
+	"cachepirate/internal/cache"
+)
+
+// Divergence pinpoints the first operation where the SoA kernel and
+// the Reference oracle disagreed (or an invariant broke).
+type Divergence struct {
+	OpIndex int
+	Op      Op
+	What    string // which observable diverged (field or invariant)
+	Ref     string // reference-side value
+	SoA     string // kernel-side value
+}
+
+// Error formats the divergence; *Divergence satisfies error so replay
+// results plug into the usual error plumbing.
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("op %d %s(%#x, owner %d, write %v): %s diverged: ref %s, soa %s",
+		d.OpIndex, d.Op.Kind, uint64(d.Op.Addr), d.Op.Owner, d.Op.Write, d.What, d.Ref, d.SoA)
+}
+
+// Report renders a multi-line human-readable divergence report for the
+// replay CLI.
+func (d *Divergence) Report(cfg cache.Config, ops []Op) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DIVERGENCE after %d ops on %s (%s, %d sets x %d ways)\n",
+		d.OpIndex+1, cfg.Name, cfg.Policy, cfg.Sets(), cfg.Ways)
+	fmt.Fprintf(&b, "  at: %s\n", d.Error())
+	lo := d.OpIndex - 4
+	if lo < 0 {
+		lo = 0
+	}
+	b.WriteString("  trailing ops:\n")
+	for i := lo; i <= d.OpIndex && i < len(ops); i++ {
+		op := ops[i]
+		marker := "   "
+		if i == d.OpIndex {
+			marker = ">>>"
+		}
+		fmt.Fprintf(&b, "  %s %6d %-12s addr=%#x owner=%d write=%v\n",
+			marker, i, op.Kind, uint64(op.Addr), op.Owner, op.Write)
+	}
+	return b.String()
+}
+
+// checkEvery is how often the replay loop re-verifies the full
+// invariant set (it always verifies per-op results).
+const checkEvery = 128
+
+// KernelHarness replays kernel op streams through both cache models.
+type KernelHarness struct {
+	Cfg cache.Config
+	// InjectAt, when >= 0, applies an extra unmatched fill to the SoA
+	// side just before that op index — a deliberately planted bug used
+	// to prove the harness catches and minimizes real divergence.
+	InjectAt int
+}
+
+// ReplayKernel replays ops through a fresh SoA cache and Reference
+// oracle built from cfg, returning the first divergence or nil.
+func ReplayKernel(cfg cache.Config, ops []Op) *Divergence {
+	return KernelHarness{Cfg: cfg, InjectAt: -1}.Replay(ops)
+}
+
+// Replay runs the harness over ops.
+func (h KernelHarness) Replay(ops []Op) *Divergence {
+	ref, err := cache.NewReference(h.Cfg)
+	if err != nil {
+		// An invalid config is a harness bug, not a kernel divergence.
+		panic(fmt.Sprintf("conformance: invalid kernel config: %v", err))
+	}
+	soa := cache.MustNew(h.Cfg)
+	touched := make(map[cache.Addr]struct{})
+
+	for i, op := range ops {
+		if i == h.InjectAt {
+			// Planted divergence: a fill the oracle never sees.
+			soa.Fill(op.Addr, op.Owner, false, false)
+		}
+		touched[op.Addr&^cache.Addr(h.Cfg.LineSize-1)] = struct{}{}
+		if d := applyOp(ref, soa, i, op); d != nil {
+			return d
+		}
+		if (i+1)%checkEvery == 0 {
+			if d := crossCheck(ref, soa, i, op); d != nil {
+				return d
+			}
+		}
+	}
+	last := len(ops) - 1
+	var lastOp Op
+	if last >= 0 {
+		lastOp = ops[last]
+	}
+	if d := crossCheck(ref, soa, last, lastOp); d != nil {
+		return d
+	}
+	// Full residency sweep over every touched line.
+	for a := range touched {
+		if ref.Probe(a) != soa.Probe(a) {
+			return &Divergence{OpIndex: last, Op: lastOp, What: fmt.Sprintf("final residency of %#x", uint64(a)),
+				Ref: fmt.Sprint(ref.Probe(a)), SoA: fmt.Sprint(soa.Probe(a))}
+		}
+	}
+	return nil
+}
+
+// applyOp executes one op on both models and compares the observables.
+func applyOp(ref *cache.Reference, soa *cache.Cache, i int, op Op) *Divergence {
+	mismatch := func(what, rv, sv string) *Divergence {
+		return &Divergence{OpIndex: i, Op: op, What: what, Ref: rv, SoA: sv}
+	}
+	cmpResult := func(rr, sr cache.Result) *Divergence {
+		if rr.Hit != sr.Hit || rr.WasPrefetch != sr.WasPrefetch {
+			return mismatch("hit/prefetch", fmt.Sprintf("%+v", rr), fmt.Sprintf("%+v", sr))
+		}
+		if rr.Evicted != sr.Evicted {
+			return mismatch("evicted", fmt.Sprintf("%+v", rr.Evicted), fmt.Sprintf("%+v", sr.Evicted))
+		}
+		return nil
+	}
+	switch op.Kind {
+	case OpAccess:
+		return cmpResult(ref.Access(op.Addr, op.Write, op.Owner), soa.Access(op.Addr, op.Write, op.Owner))
+	case OpAccessFill:
+		return cmpResult(ref.AccessFill(op.Addr, op.Write, op.Owner), soa.AccessFill(op.Addr, op.Write, op.Owner))
+	case OpFill:
+		return cmpResult(ref.Fill(op.Addr, op.Owner, false, op.Write), soa.Fill(op.Addr, op.Owner, false, op.Write))
+	case OpFillPrefetch:
+		return cmpResult(ref.Fill(op.Addr, op.Owner, true, false), soa.Fill(op.Addr, op.Owner, true, false))
+	case OpFillMissed:
+		// Contract: only legal when the line is absent. The stream may
+		// propose it anytime; the harness applies it only when valid.
+		if soa.Probe(op.Addr) {
+			return nil
+		}
+		return cmpResult(ref.FillMissed(op.Addr, op.Owner, false, op.Write), soa.FillMissed(op.Addr, op.Owner, false, op.Write))
+	case OpInvalidate:
+		re, rok := ref.Invalidate(op.Addr)
+		se, sok := soa.Invalidate(op.Addr)
+		if rok != sok {
+			return mismatch("invalidate found", fmt.Sprint(rok), fmt.Sprint(sok))
+		}
+		if re != se {
+			return mismatch("invalidate evicted", fmt.Sprintf("%+v", re), fmt.Sprintf("%+v", se))
+		}
+	case OpMarkDirty:
+		if r, s := ref.MarkDirty(op.Addr), soa.MarkDirty(op.Addr); r != s {
+			return mismatch("markdirty found", fmt.Sprint(r), fmt.Sprint(s))
+		}
+	case OpFlush:
+		ref.Flush()
+		soa.Flush()
+	}
+	return nil
+}
+
+// crossCheck compares cumulative statistics and runs the single-cache
+// invariants; i/op locate the report.
+func crossCheck(ref *cache.Reference, soa *cache.Cache, i int, op Op) *Divergence {
+	for ow := 0; ow < kernelOwners; ow++ {
+		rs, ss := ref.Stats(cache.Owner(ow)), soa.Stats(cache.Owner(ow))
+		if rs != ss {
+			return &Divergence{OpIndex: i, Op: op, What: fmt.Sprintf("owner %d stats", ow),
+				Ref: fmt.Sprintf("%+v", rs), SoA: fmt.Sprintf("%+v", ss)}
+		}
+	}
+	if err := CheckCache(soa); err != nil {
+		return &Divergence{OpIndex: i, Op: op, What: "invariant", Ref: "holds", SoA: err.Error()}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package machine
+
+import (
+	"testing"
+
+	"cachepirate/internal/conformance"
+	"cachepirate/internal/workload"
+)
+
+// TestHierarchyCountersConserved drives a mixed multicore run and then
+// verifies the full conformance invariant set on the machine's
+// hierarchy: per-level counter conservation, demand-chain equalities,
+// residency bounds and L3 inclusivity. This catches accounting bugs
+// (a counter bumped twice, a fill not recorded) that the behavioural
+// tests never look at.
+func TestHierarchyCountersConserved(t *testing.T) {
+	m := MustNew(smallConfig(3))
+	m.MustAttach(0, workload.NewRandomAccess(workload.RandomConfig{
+		Name: "r", Span: 48 << 10, NInstr: 2, WriteFrac: 0.3, Seed: 7}))
+	m.MustAttach(1, seqGen(32<<10))
+	m.MustAttach(2, workload.NewRandomAccess(workload.RandomConfig{
+		Name: "r2", Span: 96 << 10, NInstr: 1, Seed: 9}))
+
+	// The event clock must advance monotonically across the run.
+	var clock []float64
+	for i := 0; i < 20; i++ {
+		m.RunSteps(2_000)
+		clock = append(clock, m.Now())
+		if err := conformance.CheckHierarchy(m.Hierarchy(), conformance.CheckOptions{}); err != nil {
+			t.Fatalf("after %d steps: %v", (i+1)*2_000, err)
+		}
+	}
+	if err := conformance.CheckMonotonic(clock); err != nil {
+		t.Fatalf("event clock: %v", err)
+	}
+}
+
+// TestHierarchyCountersConservedWithPrefetch repeats the conservation
+// check with a live prefetcher, covering the prefetch-fill accounting
+// paths (fetches > demand misses, prefetched-line promotion).
+func TestHierarchyCountersConservedWithPrefetch(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.NewPrefetcher = NehalemConfig().NewPrefetcher
+	m := MustNew(cfg)
+	m.MustAttach(0, seqGen(128<<10))
+	m.MustAttach(1, workload.NewRandomAccess(workload.RandomConfig{
+		Name: "r", Span: 48 << 10, NInstr: 2, Seed: 3}))
+	m.RunSteps(40_000)
+	if err := conformance.CheckHierarchy(m.Hierarchy(), conformance.CheckOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package report
+
+// Golden-file tests: the rendered table/CSV/plot output is compared
+// byte-for-byte against checked-in files under testdata/. Formatting
+// drift (column widths, separators, axis layout) shows up as a diff
+// instead of silently changing every experiment's output. Regenerate
+// after an intentional change with:
+//
+//	go test ./internal/report -run Golden -update
+// then review the testdata/ diff like any other code change.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cachepirate/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got against testdata/<name>.golden.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (re-run with -update after reviewing):\n--- want ---\n%s\n--- got ---\n%s",
+			path, want, got)
+	}
+}
+
+// goldenCurve is a small fixed curve exercising trusted and untrusted
+// points, sub-MB and multi-MB sizes.
+func goldenCurve() *analysis.Curve {
+	return &analysis.Curve{
+		Name: "cigar",
+		Points: []analysis.Point{
+			{CacheBytes: 512 << 10, CPI: 1.92, BandwidthGBs: 3.41, FetchRatio: 0.082,
+				MissRatio: 0.071, PirateFetchRatio: 0.0021, Trusted: true, Samples: 4},
+			{CacheBytes: 2 << 20, CPI: 1.41, BandwidthGBs: 2.02, FetchRatio: 0.044,
+				MissRatio: 0.039, PirateFetchRatio: 0.0035, Trusted: true, Samples: 4},
+			{CacheBytes: 6 << 20, CPI: 0.78, BandwidthGBs: 0.43, FetchRatio: 0.006,
+				MissRatio: 0.005, PirateFetchRatio: 0.0412, Trusted: false, Samples: 4},
+		},
+	}
+}
+
+func TestGoldenTableString(t *testing.T) {
+	tb := NewTable("demo", "benchmark", "CPI", "BW", "fetch")
+	tb.Add("cigar", F(1.92, 2), GBs(3.41), Pct(0.082, 1))
+	tb.Add("libquantum", F(1.41, 2), GBs(2.02), Pct(0.044, 1))
+	tb.Add("lbm (long name row)", F(0.78, 2), GBs(0.43), Pct(0.006, 1))
+	checkGolden(t, "table", tb.String())
+}
+
+func TestGoldenTableCSV(t *testing.T) {
+	tb := NewTable("demo", "benchmark", "value,with,commas", "quoted\"field")
+	tb.Add("a", "1,5", "x\"y")
+	tb.Add("b", "2", "plain")
+	checkGolden(t, "table_csv", tb.CSV())
+}
+
+func TestGoldenCurveTable(t *testing.T) {
+	checkGolden(t, "curve_table", CurveTable("cigar vs cache size", goldenCurve()).String())
+}
+
+func TestGoldenCurvePlot(t *testing.T) {
+	checkGolden(t, "curve_plot", CurvePlot("cigar CPI", goldenCurve(), "cpi").String())
+}
+
+func TestGoldenPlotMultiSeries(t *testing.T) {
+	p := NewPlot("pirate vs simulator")
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ys1 := []float64{2.0, 1.8, 1.5, 1.1, 0.9, 0.8, 0.78, 0.77}
+	ys2 := []float64{2.1, 1.7, 1.4, 1.2, 0.9, 0.82, 0.79, 0.77}
+	if err := p.AddSeries("pirate", xs, ys1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSeries("sim", xs, ys2); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "plot_multi", p.String())
+}
+
+func TestGoldenSparkline(t *testing.T) {
+	got := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}) + "\n" +
+		Sparkline([]float64{3, 3, 3}) + "\n" +
+		Sparkline(nil) + "\n" +
+		CurveSparklines(goldenCurve())
+	checkGolden(t, "sparkline", got)
+}
