@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-quick bench-kernel vet fmt experiments examples cover fuzz staticcheck
+.PHONY: build test test-short bench bench-quick bench-kernel vet fmt experiments examples cover fuzz staticcheck lint
 
 build:
 	$(GO) build ./...
@@ -64,3 +64,9 @@ fuzz:
 # stdlib-only.
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@latest ./...
+
+# Full static-analysis gate: vet, staticcheck, and the repo's custom
+# analyzer suite (detrand, hotalloc, counterpair, errcheckdomain — see
+# DESIGN.md §10). Any finding fails the build.
+lint: vet staticcheck
+	$(GO) run ./cmd/lint ./...

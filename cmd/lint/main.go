@@ -1,0 +1,99 @@
+// Command lint is the repo's multichecker: it runs the custom
+// go/analysis-style suite (internal/lint) over the given package
+// patterns and exits non-zero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/lint ./...
+//	go run ./cmd/lint -a detrand,hotalloc ./internal/cache
+//
+// The four analyzers (see DESIGN.md §10):
+//
+//	detrand        nondeterminism in simulation packages
+//	hotalloc       allocation in //lint:hotpath functions
+//	counterpair    counter writes violating conservation identities
+//	errcheckdomain dropped trace/report/conformance errors, raw float equality
+//
+// Findings are suppressed per line with `//lint:ignore <analyzer>
+// <justification>`; the justification is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cachepirate/internal/lint/analysis"
+	"cachepirate/internal/lint/counterpair"
+	"cachepirate/internal/lint/detrand"
+	"cachepirate/internal/lint/errcheckdomain"
+	"cachepirate/internal/lint/hotalloc"
+	"cachepirate/internal/lint/load"
+)
+
+var all = []*analysis.Analyzer{
+	detrand.Analyzer,
+	hotalloc.Analyzer,
+	counterpair.Analyzer,
+	errcheckdomain.Analyzer,
+}
+
+func main() {
+	names := flag.String("a", "", "comma-separated analyzers to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lint [-a analyzers] packages...\n\nanalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	analyzers := all
+	if *names != "" {
+		analyzers = nil
+		want := map[string]bool{}
+		for _, n := range strings.Split(*names, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		for _, a := range all {
+			if want[a.Name] {
+				analyzers = append(analyzers, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(os.Stderr, "lint: unknown analyzer %q\n", n)
+			os.Exit(2)
+		}
+	}
+
+	targets, err := load.Packages(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(1)
+	}
+
+	found := 0
+	for _, t := range targets {
+		for _, a := range analyzers {
+			diags, err := analysis.Run(t, a)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lint:", err)
+				os.Exit(1)
+			}
+			for _, d := range diags {
+				fmt.Println(d)
+				found++
+			}
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}

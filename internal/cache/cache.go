@@ -241,6 +241,8 @@ func (c *Cache) findWay(base int, si uint64, tag uint64) int {
 // replacement state is updated and Result.Hit is true. On a miss the line
 // is NOT filled: the caller decides whether and when to Fill (the
 // hierarchy uses this to model fill paths and inclusivity).
+//
+//lint:hotpath
 func (c *Cache) Access(a Addr, write bool, owner Owner) Result {
 	hit, wasPref := c.demand(a, write, owner)
 	return Result{Hit: hit, WasPrefetch: wasPref}
@@ -293,6 +295,8 @@ func (c *Cache) hit(si uint64, base, w int, write bool, st *OwnerStats) (wasPref
 // immediately follows its miss with no intervening operation on this
 // cache, fusing the two cannot change any replacement decision; it only
 // removes the second tag scan (see DESIGN.md §8).
+//
+//lint:hotpath
 func (c *Cache) AccessFill(a Addr, write bool, owner Owner) Result {
 	si, tag := c.index(a)
 	st := &c.stats[owner]
@@ -310,6 +314,8 @@ func (c *Cache) AccessFill(a Addr, write bool, owner Owner) Result {
 
 // Probe reports whether the line holding a is resident, without
 // disturbing replacement state or statistics.
+//
+//lint:hotpath
 func (c *Cache) Probe(a Addr) bool {
 	si, tag := c.index(a)
 	return c.findWay(int(si)*c.ways, si, tag) >= 0
@@ -320,6 +326,8 @@ func (c *Cache) Probe(a Addr) bool {
 // counts as a fetch but not a demand miss). dirty pre-dirties the line
 // (write-allocate fill of a store). Filling an already-resident line just
 // refreshes replacement state.
+//
+//lint:hotpath
 func (c *Cache) Fill(a Addr, owner Owner, prefetch, dirty bool) Result {
 	si, tag := c.index(a)
 	base := int(si) * c.ways
@@ -346,6 +354,8 @@ func (c *Cache) Fill(a Addr, owner Owner, prefetch, dirty bool) Result {
 // the hierarchy the only operations between a private-level miss and
 // its deferred fill are fills of *other* levels and back-invalidations,
 // which never add lines here, so the miss observation stays valid.
+//
+//lint:hotpath
 func (c *Cache) FillMissed(a Addr, owner Owner, prefetch, dirty bool) Result {
 	si, tag := c.index(a)
 	return c.fillWay(si, int(si)*c.ways, tag, owner, prefetch, dirty)

@@ -38,9 +38,13 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestPolicyKindString(t *testing.T) {
-	for p, want := range map[PolicyKind]string{LRU: "lru", PseudoLRU: "plru", Nehalem: "nehalem", Random: "random"} {
-		if got := p.String(); got != want {
-			t.Errorf("String(%d) = %q, want %q", int(p), got, want)
+	cases := []struct {
+		p    PolicyKind
+		want string
+	}{{LRU, "lru"}, {PseudoLRU, "plru"}, {Nehalem, "nehalem"}, {Random, "random"}}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int(c.p), got, c.want)
 		}
 	}
 }

@@ -183,6 +183,8 @@ func (h *Hierarchy) Prefetcher(core int) prefetch.Prefetcher { return h.pf[core]
 func (h *Hierarchy) LineSize() int64 { return h.lineSize }
 
 // Access performs one demand access by core and returns its outcome.
+//
+//lint:hotpath
 func (h *Hierarchy) Access(core int, addr Addr, write bool) Outcome {
 	var out Outcome
 	owner := Owner(core)
@@ -260,6 +262,8 @@ func (h *Hierarchy) InvalidateRemoteCopies(core int, addr Addr) (invalidated int
 // the core — no level is filled, no prefetcher trains. The access
 // still costs DRAM bandwidth, which is exactly the profile the
 // Bandwidth Bandit needs.
+//
+//lint:hotpath
 func (h *Hierarchy) AccessNonTemporal(core int, addr Addr) Outcome {
 	var out Outcome
 	if hit, _ := h.l1[core].demand(addr, false, 0); hit {

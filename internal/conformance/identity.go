@@ -1,0 +1,102 @@
+package conformance
+
+import "cachepirate/internal/cache"
+
+// This file is the single source of truth for the counter-conservation
+// identities of cache.OwnerStats. Two consumers share it: CheckCache
+// verifies the identities against live counter values at runtime, and
+// the counterpair analyzer (internal/lint/counterpair) verifies at
+// lint time that any code path incrementing one member of an identity
+// also maintains its siblings.
+
+// CounterStruct names the struct type the identities apply to.
+// Analyzers match it by type name so lint fixtures can model it
+// without importing the simulator.
+const CounterStruct = "OwnerStats"
+
+// ConservationGroups lists exact-sum identities: the first field
+// always equals the sum of the rest. Writing any member of a group
+// without maintaining the others breaks the books.
+var ConservationGroups = [][]string{
+	{"Accesses", "Hits", "Misses"},
+}
+
+// SubsetPairs lists inequality identities: Sub counts a subset of the
+// events Super counts, so Sub <= Super must hold at all times. Code
+// that increments Sub without being in a position to increment Super
+// is miscounting.
+var SubsetPairs = []struct {
+	Sub, Super string
+}{
+	{"Writes", "Accesses"},
+	{"PrefetchHits", "Hits"},
+	{"PrefetchFills", "Fills"},
+	{"Writebacks", "Evictions"},
+}
+
+// PairedFields lists fields that must be maintained together even
+// without a subset relation: any site that evicts must also account
+// for the victim's writeback.
+var PairedFields = [][2]string{
+	{"Evictions", "Writebacks"},
+}
+
+// counterValue reads field name from s; it must cover every field the
+// tables above mention.
+func counterValue(s cache.OwnerStats, name string) uint64 {
+	switch name {
+	case "Accesses":
+		return s.Accesses
+	case "Writes":
+		return s.Writes
+	case "Hits":
+		return s.Hits
+	case "Misses":
+		return s.Misses
+	case "Fills":
+		return s.Fills
+	case "PrefetchFills":
+		return s.PrefetchFills
+	case "PrefetchHits":
+		return s.PrefetchHits
+	case "Evictions":
+		return s.Evictions
+	case "Writebacks":
+		return s.Writebacks
+	}
+	panic("conformance: unknown counter field " + name)
+}
+
+// RequiredSiblings derives, for each field, the set of fields a
+// function maintaining that field must also maintain — the static
+// (lint-time) reading of the identity tables. Conservation groups are
+// fully mutual; subset pairs require the subset's writer to maintain
+// the superset; paired fields are mutual.
+func RequiredSiblings() map[string][]string {
+	req := map[string][]string{}
+	add := func(field, sibling string) {
+		for _, s := range req[field] {
+			if s == sibling {
+				return
+			}
+		}
+		req[field] = append(req[field], sibling)
+	}
+	for _, g := range ConservationGroups {
+		for _, a := range g {
+			for _, b := range g {
+				if a != b {
+					add(a, b)
+				}
+			}
+		}
+	}
+	for _, p := range SubsetPairs {
+		add(p.Sub, p.Super)
+	}
+	for _, p := range PairedFields {
+		add(p[0], p[1])
+		add(p[1], p[0])
+	}
+	return req
+}

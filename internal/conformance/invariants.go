@@ -24,21 +24,23 @@ func CheckCache(c *cache.Cache) error {
 		owner := cache.Owner(ow)
 		s := c.Stats(owner)
 		name := fmt.Sprintf("%s owner %d", cfg.Name, ow)
-		if s.Hits+s.Misses != s.Accesses {
-			return fmt.Errorf("conformance: %s: hits %d + misses %d != accesses %d",
-				name, s.Hits, s.Misses, s.Accesses)
+		// The conservation and subset identities come from the shared
+		// table in identity.go — the same one the counterpair lint
+		// analyzer enforces statically over counter-writing code.
+		for _, g := range ConservationGroups {
+			var sum uint64
+			for _, f := range g[1:] {
+				sum += counterValue(s, f)
+			}
+			if total := counterValue(s, g[0]); total != sum {
+				return fmt.Errorf("conformance: %s: %s %d != sum of %v (%d)",
+					name, g[0], total, g[1:], sum)
+			}
 		}
-		if s.Writes > s.Accesses {
-			return fmt.Errorf("conformance: %s: writes %d > accesses %d", name, s.Writes, s.Accesses)
-		}
-		if s.PrefetchHits > s.Hits {
-			return fmt.Errorf("conformance: %s: prefetch hits %d > hits %d", name, s.PrefetchHits, s.Hits)
-		}
-		if s.PrefetchFills > s.Fills {
-			return fmt.Errorf("conformance: %s: prefetch fills %d > fills %d", name, s.PrefetchFills, s.Fills)
-		}
-		if s.Writebacks > s.Evictions {
-			return fmt.Errorf("conformance: %s: writebacks %d > evictions %d", name, s.Writebacks, s.Evictions)
+		for _, p := range SubsetPairs {
+			if sub, super := counterValue(s, p.Sub), counterValue(s, p.Super); sub > super {
+				return fmt.Errorf("conformance: %s: %s %d > %s %d", name, p.Sub, sub, p.Super, super)
+			}
 		}
 		// Every line an owner ever installed is now resident, was
 		// evicted (counted), or was invalidated/flushed (uncounted) —

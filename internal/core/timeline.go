@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"cachepirate/internal/analysis"
 	"cachepirate/internal/counters"
 	"cachepirate/internal/machine"
@@ -44,12 +46,16 @@ func (tl *Timeline) Curve(fetchThreshold float64) *analysis.Curve {
 		cpi, bw, fetch, miss, pfr float64
 		n                         int
 	}
+	// Sizes are accumulated in first-seen order (the deterministic order
+	// of the samples themselves) rather than by ranging over the map.
 	accs := map[int64]*acc{}
+	var order []int64
 	for _, s := range tl.Samples {
 		a := accs[s.CacheBytes]
 		if a == nil {
 			a = &acc{}
 			accs[s.CacheBytes] = a
+			order = append(order, s.CacheBytes)
 		}
 		a.cpi += s.CPI
 		a.bw += s.BandwidthGBs
@@ -59,7 +65,8 @@ func (tl *Timeline) Curve(fetchThreshold float64) *analysis.Curve {
 		a.n++
 	}
 	curve := &analysis.Curve{Name: "pirate-timeline"}
-	for size, a := range accs {
+	for _, size := range order {
+		a := accs[size]
 		n := float64(a.n)
 		pfr := a.pfr / n
 		curve.Points = append(curve.Points, analysis.Point{
@@ -77,22 +84,30 @@ func (tl *Timeline) Curve(fetchThreshold float64) *analysis.Curve {
 	return curve
 }
 
-// PhaseSpread returns, per cache size, the relative spread of CPI
-// across that size's samples: (max-min)/mean. Small spreads mean every
-// cycle saw the same program behaviour; large spreads mean the
-// measurement cycles straddled program phases and the averaged curve
-// hides real variation.
-func (tl *Timeline) PhaseSpread() map[int64]float64 {
+// SpreadPoint is one cache size's CPI spread across its samples.
+type SpreadPoint struct {
+	CacheBytes int64
+	Spread     float64
+}
+
+// PhaseSpread returns, per cache size in ascending order, the relative
+// spread of CPI across that size's samples: (max-min)/mean. Small
+// spreads mean every cycle saw the same program behaviour; large
+// spreads mean the measurement cycles straddled program phases and the
+// averaged curve hides real variation.
+func (tl *Timeline) PhaseSpread() []SpreadPoint {
 	type mm struct {
 		min, max, sum float64
 		n             int
 	}
 	ms := map[int64]*mm{}
+	var order []int64
 	for _, s := range tl.Samples {
 		m := ms[s.CacheBytes]
 		if m == nil {
 			m = &mm{min: s.CPI, max: s.CPI}
 			ms[s.CacheBytes] = m
+			order = append(order, s.CacheBytes)
 		}
 		if s.CPI < m.min {
 			m.min = s.CPI
@@ -103,11 +118,13 @@ func (tl *Timeline) PhaseSpread() map[int64]float64 {
 		m.sum += s.CPI
 		m.n++
 	}
-	out := make(map[int64]float64, len(ms))
-	for size, m := range ms {
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]SpreadPoint, 0, len(order))
+	for _, size := range order {
+		m := ms[size]
 		mean := m.sum / float64(m.n)
 		if mean > 0 {
-			out[size] = (m.max - m.min) / mean
+			out = append(out, SpreadPoint{CacheBytes: size, Spread: (m.max - m.min) / mean})
 		}
 	}
 	return out

@@ -92,11 +92,11 @@ func TestPhaseSpreadDetectsPhases(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	maxOf := func(m map[int64]float64) float64 {
+	maxOf := func(spread []SpreadPoint) float64 {
 		best := 0.0
-		for _, v := range m {
-			if v > best {
-				best = v
+		for _, sp := range spread {
+			if sp.Spread > best {
+				best = sp.Spread
 			}
 		}
 		return best

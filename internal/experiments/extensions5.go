@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"sort"
-
 	"cachepirate/internal/core"
 	"cachepirate/internal/machine"
 	"cachepirate/internal/report"
@@ -36,29 +34,24 @@ func Ext5PhaseResolved(opts Options) (*Result, error) {
 	for i, bench := range benches {
 		tl := timelines[i]
 		cfg := opts.profileConfig(machine.NehalemConfig())
-		spread := tl.PhaseSpread()
-		var sizes []int64
-		for s := range spread {
-			sizes = append(sizes, s)
-		}
-		sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+		spread := tl.PhaseSpread() // sorted by cache size
 
 		t := report.NewTable("per-size CPI spread — "+bench,
 			"cache", "avg CPI", "spread (max-min)/mean")
 		curve := tl.Curve(cfg.FetchThreshold)
-		for _, s := range sizes {
-			cpi, err := curve.CPIAt(s)
+		for _, sp := range spread {
+			cpi, err := curve.CPIAt(sp.CacheBytes)
 			if err != nil {
 				return nil, err
 			}
-			t.Add(report.MB(s), report.F(cpi, 3), report.Pct(spread[s], 1))
+			t.Add(report.MB(sp.CacheBytes), report.F(cpi, 3), report.Pct(sp.Spread, 1))
 		}
 		res.Add(t)
 
 		worst := 0.0
-		for _, v := range spread {
-			if v > worst {
-				worst = v
+		for _, sp := range spread {
+			if sp.Spread > worst {
+				worst = sp.Spread
 			}
 		}
 		res.Notef("%s: worst per-size spread %.1f%% across %d samples", bench, worst*100, len(tl.Samples))

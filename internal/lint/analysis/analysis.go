@@ -1,0 +1,180 @@
+// Package analysis is a minimal, stdlib-only mirror of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check
+// with a Run function over a type-checked package (a Pass), reporting
+// Diagnostics. The repo is deliberately dependency-free, so instead of
+// importing x/tools the lint suite carries this small compatible core;
+// an analyzer written against it ports to the real driver by changing
+// one import.
+//
+// Suppression: a diagnostic is dropped when the line it lands on, or
+// the line above it, carries a comment of the form
+//
+//	//lint:ignore <analyzer> <justification>
+//
+// The justification is mandatory; a bare //lint:ignore suppresses
+// nothing (see DESIGN.md §10).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in diagnostics and suppressions
+	Doc  string // one-paragraph description of what the check enforces
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Target is a loaded, type-checked package ready for analysis. Both
+// the module loader (internal/lint/load) and the fixture loader
+// (internal/lint/analysistest) produce Targets.
+type Target struct {
+	PkgPath   string // import path of the package
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Pass carries one analyzer's view of one Target and collects its
+// diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags      []Diagnostic
+	suppressed map[suppressKey]bool
+}
+
+type suppressKey struct {
+	file string
+	line int
+}
+
+var ignoreRE = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+\S`)
+
+// Run executes one analyzer over one target and returns its surviving
+// (non-suppressed) diagnostics in file/line order.
+func Run(t Target, a *Analyzer) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:   a,
+		PkgPath:    t.PkgPath,
+		Fset:       t.Fset,
+		Files:      t.Files,
+		Pkg:        t.Pkg,
+		TypesInfo:  t.TypesInfo,
+		suppressed: map[suppressKey]bool{},
+	}
+	for _, f := range t.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil || (m[1] != a.Name && m[1] != "*") {
+					continue
+				}
+				p := t.Fset.Position(c.Pos())
+				pass.suppressed[suppressKey{p.Filename, p.Line}] = true
+			}
+		}
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	sort.Slice(pass.diags, func(i, j int) bool {
+		a, b := pass.diags[i].Pos, pass.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return pass.diags, nil
+}
+
+// Reportf records a diagnostic at pos unless an ignore comment for
+// this analyzer covers that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed[suppressKey{position.Filename, position.Line}] ||
+		p.suppressed[suppressKey{position.Filename, position.Line - 1}] {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PathMatches reports whether the pass's package import path contains
+// any of the given fragments (e.g. "internal/cache"). An empty list
+// matches every package.
+func (p *Pass) PathMatches(fragments []string) bool {
+	if len(fragments) == 0 {
+		return true
+	}
+	for _, f := range fragments {
+		if strings.Contains(p.PkgPath, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// Unparen strips any number of enclosing parentheses from e.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// FuncFor resolves the *types.Func a call or reference expression
+// names, or nil: an identifier (package function), a selector (method
+// or qualified function), but not an interface method (those have no
+// body in this package) — callers filter by Pkg anyway.
+func (p *Pass) FuncFor(e ast.Expr) *types.Func {
+	switch e := e.(type) {
+	case *ast.Ident:
+		fn, _ := p.TypesInfo.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.TypesInfo.Uses[e.Sel].(*types.Func)
+		return fn
+	case *ast.ParenExpr:
+		return p.FuncFor(e.X)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FuncDecls maps every function and method declared in the pass's
+// files (with a body) to its declaration. The skipTests flag drops
+// declarations in _test.go files.
+func (p *Pass) FuncDecls(skipTests bool) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if skipTests && p.InTestFile(fd.Pos()) {
+				continue
+			}
+			if fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// Callees returns the functions of this package that fd's body
+// references statically: direct calls (f(), x.m()) and method-value
+// references (h := x.m), the two edges over which properties like
+// hot-path membership propagate. Interface methods and other-package
+// functions resolve to nil objects or miss the decls map and are
+// dropped.
+func (p *Pass) Callees(fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) []*types.Func {
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	add := func(fn *types.Func) {
+		if fn == nil || seen[fn] {
+			return
+		}
+		if _, ok := decls[fn]; !ok {
+			return
+		}
+		seen[fn] = true
+		out = append(out, fn)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			add(p.FuncFor(n.Fun))
+		case *ast.SelectorExpr:
+			// Method value (x.m not in call position): the selection
+			// records a MethodVal; calls are caught above, and adding
+			// them twice is harmless because of the seen set.
+			if sel, ok := p.TypesInfo.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				add(p.FuncFor(n))
+			}
+		case *ast.Ident:
+			// A package-level function used as a value (f passed as a
+			// callback) keeps its referent reachable too.
+			if fn, ok := p.TypesInfo.Uses[n].(*types.Func); ok {
+				add(fn)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// Reach returns the set of declared functions reachable from roots
+// over Callees edges (roots included).
+func (p *Pass) Reach(roots []*types.Func, decls map[*types.Func]*ast.FuncDecl) map[*types.Func]bool {
+	reached := map[*types.Func]bool{}
+	work := append([]*types.Func(nil), roots...)
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if fn == nil || reached[fn] {
+			continue
+		}
+		fd, ok := decls[fn]
+		if !ok {
+			continue
+		}
+		reached[fn] = true
+		work = append(work, p.Callees(fd, decls)...)
+	}
+	return reached
+}
+
+// Roots returns the declared functions that no other declared function
+// in the package references — the package's internal call-graph entry
+// points.
+func (p *Pass) Roots(decls map[*types.Func]*ast.FuncDecl) []*types.Func {
+	called := map[*types.Func]bool{}
+	for _, fd := range decls {
+		for _, callee := range p.Callees(fd, decls) {
+			called[callee] = true
+		}
+	}
+	var roots []*types.Func
+	for fn := range decls {
+		if !called[fn] {
+			roots = append(roots, fn)
+		}
+	}
+	return roots
+}

@@ -1,0 +1,206 @@
+// Package analysistest runs an analyzer over fixture packages laid out
+// GOPATH-style under testdata/src/<importpath>/ and checks its
+// diagnostics against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest for the stdlib-only
+// framework in internal/lint/analysis.
+//
+// Fixture imports resolve in two steps: an import path with a
+// directory under testdata/src is loaded from source (so fixtures can
+// model multi-package scenarios like domain-suffix matching), anything
+// else comes from the real build's export data. _test.go fixture files
+// are loaded into the fixture package like in-package tests, so
+// analyzers with test-file-specific behaviour can be exercised.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"cachepirate/internal/lint/analysis"
+	"cachepirate/internal/lint/load"
+)
+
+// Run loads the fixture package at dir/src/<pkgpath>, applies a, and
+// reports any mismatch between actual diagnostics and the fixture's
+// want comments as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	tgt, err := loadFixture(dir, pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+	diags, err := analysis.Run(tgt, a)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+	}
+	wants, err := collectWants(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDiagnostics(t, diags, wants)
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// collectWants extracts the expected diagnostics from want comments.
+// Several expectations on one line are written as separate quoted
+// regexps: // want "first" "second".
+func collectWants(tgt analysis.Target) ([]*want, error) {
+	var wants []*want
+	for _, f := range tgt.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := tgt.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					if rest[0] != '"' && rest[0] != '`' {
+						return nil, fmt.Errorf("%s: malformed want comment: %q", pos, c.Text)
+					}
+					quote := rest[0]
+					end := strings.IndexByte(rest[1:], quote)
+					if end < 0 {
+						return nil, fmt.Errorf("%s: unterminated want pattern: %q", pos, c.Text)
+					}
+					pat := rest[1 : 1+end]
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+					rest = strings.TrimSpace(rest[end+2:])
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// checkDiagnostics matches each diagnostic to an unclaimed want on its
+// line and fails on unmatched diagnostics or unmet wants.
+func checkDiagnostics(t *testing.T, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// loadFixture type-checks the fixture package and its fixture-local
+// dependencies from source.
+func loadFixture(dir, pkgpath string) (analysis.Target, error) {
+	fset := token.NewFileSet()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return analysis.Target{}, err
+	}
+	imp := &fixtureImporter{
+		root:     filepath.Join(abs, "src"),
+		fset:     fset,
+		fallback: load.NewImporter(fset, "."),
+		pkgs:     map[string]*types.Package{},
+	}
+	return imp.load(pkgpath, true)
+}
+
+// fixtureImporter loads testdata/src packages from source, falling
+// back to export data for everything else (stdlib, real module
+// packages).
+type fixtureImporter struct {
+	root     string
+	fset     *token.FileSet
+	fallback types.Importer
+	pkgs     map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := fi.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if _, err := os.Stat(filepath.Join(fi.root, filepath.FromSlash(path))); err != nil {
+		return fi.fallback.Import(path)
+	}
+	tgt, err := fi.load(path, false)
+	if err != nil {
+		return nil, err
+	}
+	return tgt.Pkg, nil
+}
+
+// load parses and type-checks one fixture package. Test files are
+// included only for the top-level package under test (withTests), as
+// imported fixture dependencies behave like built packages.
+func (fi *fixtureImporter) load(path string, withTests bool) (analysis.Target, error) {
+	pkgdir := filepath.Join(fi.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(pkgdir)
+	if err != nil {
+		return analysis.Target{}, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		if !withTests && strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return analysis.Target{}, fmt.Errorf("no fixture files in %s", pkgdir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fi.fset, filepath.Join(pkgdir, name), nil, parser.ParseComments)
+		if err != nil {
+			return analysis.Target{}, err
+		}
+		files = append(files, f)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: fi}
+	pkg, err := conf.Check(path, fi.fset, files, info)
+	if err != nil {
+		return analysis.Target{}, fmt.Errorf("type-checking fixture %s: %w", path, err)
+	}
+	fi.pkgs[path] = pkg
+	return analysis.Target{PkgPath: path, Fset: fi.fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}

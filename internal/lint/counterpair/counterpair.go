@@ -1,0 +1,135 @@
+// Package counterpair defines an analyzer enforcing counter hygiene:
+// every code path that writes a hardware-counter field must maintain
+// that field's conservation-identity siblings. The identity table is
+// the one internal/conformance checks at runtime (CheckCache); this
+// analyzer applies the same table to the *writers*, so a path that
+// increments Misses while never being able to increment Accesses is a
+// lint error before any simulation runs.
+//
+// Counter updates are legitimately split across helpers (the demand
+// path counts Accesses and Misses, its hit helper counts Hits), so
+// the unit of analysis is a call-graph root: a function no other
+// function in the package calls, together with everything it reaches.
+// Helpers are judged through their callers; an orphaned helper that
+// bumps one side of an identity is flagged directly.
+package counterpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"cachepirate/internal/conformance"
+	"cachepirate/internal/lint/analysis"
+)
+
+// Analyzer flags counter writes whose identity siblings are never
+// maintained on the same call path.
+var Analyzer = &analysis.Analyzer{
+	Name: "counterpair",
+	Doc: "flags writes to " + conformance.CounterStruct + " counter fields that do not maintain " +
+		"their conservation-identity siblings (table shared with internal/conformance)",
+	Run: run,
+}
+
+// write records one counter-field store.
+type write struct {
+	field string
+	pos   token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	required := conformance.RequiredSiblings()
+	decls := pass.FuncDecls(true)
+
+	// Per-function counter writes.
+	writes := map[*types.Func][]write{}
+	for fn, fd := range decls {
+		writes[fn] = counterWrites(pass, fd)
+	}
+
+	for _, root := range pass.Roots(decls) {
+		// Effective write set: everything the root's call tree writes.
+		reach := pass.Reach([]*types.Func{root}, decls)
+		have := map[string]bool{}
+		for fn := range reach {
+			for _, w := range writes[fn] {
+				have[w.field] = true
+			}
+		}
+		// Judge the root's own writes and, for error position quality,
+		// the first offending write in its tree.
+		for fn := range reach {
+			for _, w := range writes[fn] {
+				var missing []string
+				for _, sib := range required[w.field] {
+					if !have[sib] {
+						missing = append(missing, sib)
+					}
+				}
+				if len(missing) > 0 {
+					sort.Strings(missing)
+					pass.Reportf(w.pos,
+						"%s is written on %s's call path, but identity sibling(s) %s are never maintained there",
+						w.field, root.Name(), strings.Join(missing, ", "))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// counterWrites collects assignments and inc/dec statements targeting
+// fields of the tracked counter struct inside fd.
+func counterWrites(pass *analysis.Pass, fd *ast.FuncDecl) []write {
+	var out []write
+	record := func(e ast.Expr) {
+		sel, ok := analysis.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if !isCounterField(pass, sel) {
+			return
+		}
+		out = append(out, write{field: sel.Sel.Name, pos: sel.Pos()})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(n.X)
+		}
+		return true
+	})
+	return out
+}
+
+// isCounterField reports whether sel denotes a field of the tracked
+// counter struct (matched by type name, so lint fixtures can declare a
+// structurally-similar local type).
+func isCounterField(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == conformance.CounterStruct
+}

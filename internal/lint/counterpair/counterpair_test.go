@@ -1,0 +1,12 @@
+package counterpair_test
+
+import (
+	"testing"
+
+	"cachepirate/internal/lint/analysistest"
+	"cachepirate/internal/lint/counterpair"
+)
+
+func TestIdentities(t *testing.T) {
+	analysistest.Run(t, "../testdata", counterpair.Analyzer, "counterpair")
+}

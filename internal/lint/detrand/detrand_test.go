@@ -1,0 +1,16 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"cachepirate/internal/lint/analysistest"
+	"cachepirate/internal/lint/detrand"
+)
+
+func TestSimulationPackage(t *testing.T) {
+	analysistest.Run(t, "../testdata", detrand.Analyzer, "detrand/internal/cache")
+}
+
+func TestRunnerExempt(t *testing.T) {
+	analysistest.Run(t, "../testdata", detrand.Analyzer, "detrand/internal/runner")
+}

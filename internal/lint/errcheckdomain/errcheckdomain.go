@@ -1,0 +1,198 @@
+// Package errcheckdomain defines an analyzer for two error-handling
+// hazards specific to this repo's measurement pipeline:
+//
+//  1. Dropped errors from the trace/report/conformance APIs. A
+//     swallowed trace.Write error truncates a capture silently; a
+//     swallowed conformance.Check* error is a skipped invariant — in
+//     both cases the simulation "passes" on corrupt evidence, the
+//     worst failure mode a measurement harness can have.
+//
+//  2. Equality comparisons between float64 metrics. Miss and fetch
+//     ratios, CPIs and slowdowns are NaN-able (0/0 intervals before
+//     the MetricErrors hardening); x == y and x != y are silently
+//     false/true for NaN, so comparisons must either guard with
+//     math.IsNaN or compare against an explicit tolerance.
+//
+// Test files are exempt: tests drop errors and pin exact float
+// constants deliberately.
+package errcheckdomain
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cachepirate/internal/lint/analysis"
+)
+
+// Domains lists the import-path fragments whose error returns must
+// never be dropped.
+var Domains = []string{
+	"internal/trace",
+	"internal/report",
+	"internal/conformance",
+}
+
+// Analyzer flags dropped domain errors and unguarded float equality.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcheckdomain",
+	Doc: "flags dropped errors from trace/report/conformance APIs and " +
+		"float64 equality comparisons without math.IsNaN guards",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDropped(pass, call)
+				}
+			case *ast.GoStmt:
+				checkDropped(pass, n.Call)
+			case *ast.DeferStmt:
+				checkDropped(pass, n.Call)
+			case *ast.AssignStmt:
+				checkBlankError(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFloatEquality(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// domainError reports whether call invokes a domain function whose
+// last result is an error.
+func domainError(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := pass.FuncFor(call.Fun)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	pkgPath := fn.Pkg().Path()
+	match := false
+	for _, d := range Domains {
+		if strings.Contains(pkgPath, d) {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return "", false
+	}
+	if !types.Identical(res.At(res.Len()-1).Type(), types.Universe.Lookup("error").Type()) {
+		return "", false
+	}
+	return fn.Pkg().Name() + "." + fn.Name(), true
+}
+
+// checkDropped flags a domain call whose results are discarded
+// entirely (statement position, go, defer).
+func checkDropped(pass *analysis.Pass, call *ast.CallExpr) {
+	if name, ok := domainError(pass, call); ok {
+		pass.Reportf(call.Pos(), "error from %s is dropped; trace/report/conformance errors must be handled", name)
+	}
+}
+
+// checkBlankError flags assignments that discard a domain call's error
+// into the blank identifier.
+func checkBlankError(pass *analysis.Pass, as *ast.AssignStmt) {
+	// Both `_ = f()` / `x, _ := f()` shapes: the call is the sole RHS.
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := analysis.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := domainError(pass, call)
+	if !ok {
+		return
+	}
+	// The error is the last result; it maps to the last LHS.
+	last := as.Lhs[len(as.Lhs)-1]
+	if id, ok := last.(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(as.Pos(), "error from %s is assigned to _; trace/report/conformance errors must be handled", name)
+	}
+}
+
+// checkFloatEquality flags == and != between non-constant float
+// operands inside fn, unless the function guards either operand with
+// math.IsNaN.
+func checkFloatEquality(pass *analysis.Pass, fn *ast.FuncDecl) {
+	guarded := map[types.Object]bool{}
+	anyGuard := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := pass.FuncFor(call.Fun); f != nil && f.Pkg() != nil &&
+			f.Pkg().Path() == "math" && (f.Name() == "IsNaN" || f.Name() == "IsInf") {
+			anyGuard = true
+			for _, arg := range call.Args {
+				if obj := operandObj(pass, arg); obj != nil {
+					guarded[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if !isNonConstFloat(pass, be.X) || !isNonConstFloat(pass, be.Y) {
+			return true
+		}
+		if anyGuard {
+			// Either operand (or its source) being NaN-checked in this
+			// function is accepted as a guard.
+			if xo, yo := operandObj(pass, be.X), operandObj(pass, be.Y); (xo != nil && guarded[xo]) || (yo != nil && guarded[yo]) {
+				return true
+			}
+		}
+		pass.Reportf(be.Pos(), "float64 %s comparison on NaN-able metrics; guard with math.IsNaN or compare against a tolerance", be.Op)
+		return true
+	})
+}
+
+// operandObj resolves the variable object behind a comparison operand
+// (plain identifier or field selector), or nil.
+func operandObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := analysis.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+// isNonConstFloat reports whether e is a float-typed, non-constant
+// expression — the operand shape that can carry NaN at runtime.
+func isNonConstFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,12 @@
+package errcheckdomain_test
+
+import (
+	"testing"
+
+	"cachepirate/internal/lint/analysistest"
+	"cachepirate/internal/lint/errcheckdomain"
+)
+
+func TestDomainErrorsAndFloats(t *testing.T) {
+	analysistest.Run(t, "../testdata", errcheckdomain.Analyzer, "errcheckdomain")
+}

@@ -1,0 +1,15 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"cachepirate/internal/lint/analysistest"
+	"cachepirate/internal/lint/hotalloc"
+)
+
+// The fixture covers annotated roots, propagation through calls and
+// method values (methodvalue.go), the suppression form, and an
+// unannotated function that allocates freely without findings.
+func TestHotPaths(t *testing.T) {
+	analysistest.Run(t, "../testdata", hotalloc.Analyzer, "hotalloc")
+}

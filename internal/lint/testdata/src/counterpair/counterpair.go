@@ -1,0 +1,49 @@
+// Package counterpair exercises the counterpair analyzer against a
+// local mirror of the counter struct (analyzers match it by type name,
+// so the fixture does not import the simulator).
+package counterpair
+
+type OwnerStats struct {
+	Accesses, Writes, Hits, Misses, Fills uint64
+	PrefetchFills, PrefetchHits           uint64
+	Evictions, Writebacks                 uint64
+}
+
+// Access is a clean demand path split across helpers: the root's call
+// tree maintains the whole {Accesses, Hits, Misses} group even though
+// no single function writes all three.
+func Access(s *OwnerStats, hit bool) {
+	s.Accesses++
+	if hit {
+		recordHit(s)
+	} else {
+		s.Misses++
+	}
+}
+
+func recordHit(s *OwnerStats) {
+	s.Hits++
+}
+
+// CountMiss counts misses on a path that can never count accesses or
+// hits: the conservation group is unmaintainable from here.
+func CountMiss(s *OwnerStats) {
+	s.Misses++ // want "Misses is written on CountMiss's call path, but identity sibling"
+}
+
+// CountWrite counts a write without counting the access it subsets.
+func CountWrite(s *OwnerStats) {
+	s.Writes++ // want "Writes is written on CountWrite's call path, but identity sibling"
+}
+
+// Evict drops the victim on the floor: paired field never maintained.
+func Evict(s *OwnerStats) {
+	s.Evictions++ // want "Evictions is written on Evict's call path, but identity sibling"
+}
+
+// EvictWriteback accounts both sides of the pair; the += form counts
+// as a write just like ++.
+func EvictWriteback(s *OwnerStats) {
+	s.Evictions++
+	s.Writebacks += 1
+}

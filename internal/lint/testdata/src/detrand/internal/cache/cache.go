@@ -1,0 +1,64 @@
+// Package cache is a detrand fixture: its import path contains
+// internal/cache, which puts it in the analyzer's simulation scope.
+package cache
+
+import (
+	"math/rand" // want "import of math/rand: use the seeded internal/stats RNG"
+	"sync"
+	"time"
+)
+
+// State models simulated state fed by the functions below.
+type State struct {
+	counts map[uint64]int
+	shared sync.Map // want "sync.Map in a simulation package"
+}
+
+// Total iterates a map directly: iteration order leaks into whatever
+// consumes the traversal.
+func (s *State) Total() int {
+	total := 0
+	for _, v := range s.counts { // want "range over map: iteration order is nondeterministic"
+		total += v
+	}
+	return total
+}
+
+// Stamp reads the wall clock instead of the event clock.
+func (s *State) Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in a simulation package"
+}
+
+// Shuffle uses the global PRNG (flagged at the import, not per call).
+func (s *State) Shuffle(keys []uint64) {
+	rand.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+}
+
+// Fill spawns an ad-hoc goroutine.
+func (s *State) Fill(keys []uint64) {
+	go func() { // want "goroutine in a simulation package"
+		for _, k := range keys {
+			s.counts[k] = 1
+		}
+	}()
+}
+
+// Keys ranges over a slice: ordered, no finding.
+func (s *State) Keys(sorted []uint64) int {
+	n := 0
+	for range sorted {
+		n++
+	}
+	return n
+}
+
+// Buckets demonstrates the documented suppression form: the sum is
+// commutative, so iteration order cannot leak.
+func (s *State) Buckets() int {
+	n := 0
+	//lint:ignore detrand order-insensitive commutative sum
+	for _, v := range s.counts {
+		n += v
+	}
+	return n
+}

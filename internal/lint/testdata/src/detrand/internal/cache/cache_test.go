@@ -1,0 +1,21 @@
+package cache
+
+import (
+	"testing"
+	"time"
+)
+
+// Map iteration stays banned in test files — a determinism test that
+// compares against map-ordered expectations is flaky by construction —
+// but wall-clock reads are fine here.
+func TestTotal(t *testing.T) {
+	m := map[uint64]int{1: 1, 2: 2}
+	sum := 0
+	for _, v := range m { // want "range over map: iteration order is nondeterministic"
+		sum += v
+	}
+	if sum != 3 {
+		t.Fatalf("sum = %d", sum)
+	}
+	_ = time.Now() // no finding: test files may read the clock
+}

@@ -1,0 +1,50 @@
+// Package errcheckdomain exercises both halves of the analyzer:
+// dropped errors from a domain package (matched by the import-path
+// suffix internal/trace) and unguarded float64 equality.
+package errcheckdomain
+
+import (
+	"math"
+
+	"errcheckdomain/internal/trace"
+)
+
+func Dropped(w *trace.Writer) {
+	w.Write(1)      // want "error from trace.Write is dropped"
+	defer w.Close() // want "error from trace.Close is dropped"
+}
+
+func Blank(w *trace.Writer) {
+	_ = w.Write(2)           // want "error from trace.Write is assigned to _"
+	tw, _ := trace.Open("t") // want "error from trace.Open is assigned to _"
+	_ = tw
+}
+
+// Handled is the clean shape: every domain error is propagated.
+func Handled(w *trace.Writer) error {
+	if err := w.Write(3); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+func RatioEqual(a, b float64) bool {
+	return a == b // want "float64 == comparison on NaN-able metrics"
+}
+
+func RatioDiffers(a, b float64) bool {
+	return a != b // want "float64 != comparison on NaN-able metrics"
+}
+
+// RatioGuarded NaN-checks its operands first, which is accepted.
+func RatioGuarded(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return a == b
+}
+
+// Tolerance compares against an epsilon instead of exact equality.
+func Tolerance(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}

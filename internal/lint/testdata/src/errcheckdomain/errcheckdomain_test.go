@@ -1,0 +1,18 @@
+package errcheckdomain
+
+import (
+	"testing"
+
+	"errcheckdomain/internal/trace"
+)
+
+// Test files are exempt: dropped domain errors and raw float equality
+// here produce no findings.
+func TestExempt(t *testing.T) {
+	w := &trace.Writer{}
+	w.Write(1)
+	a, b := 0.5, 0.5
+	if a != b {
+		t.Fatal("mismatch")
+	}
+}

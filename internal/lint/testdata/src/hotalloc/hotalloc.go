@@ -1,0 +1,74 @@
+// Package hotalloc exercises the hotalloc analyzer: functions carrying
+// the //lint:hotpath annotation — and everything they reach in this
+// package — must not contain allocating constructs.
+package hotalloc
+
+import "fmt"
+
+// Sink is the interface hot code boxes concrete values into.
+type Sink interface{ Put(int) }
+
+type counterSink struct{ n int }
+
+func (c *counterSink) Put(v int) { c.n += v }
+
+//lint:hotpath
+func Hot(buf []int) int {
+	m := map[int]int{} // want "map literal allocates"
+	_ = m
+	buf = append(buf, 1)  // want "append may grow and allocate"
+	tmp := make([]int, 4) // want "make allocates"
+	_ = tmp
+	p := new(int) // want "new allocates"
+	_ = p
+	fmt.Println(len(buf)) // want "fmt.Println allocates"
+	total := 0
+	bump := func() { total++ } // want "closure captures total by reference"
+	bump()
+	return total
+}
+
+func consume(s Sink) { s.Put(1) }
+
+// HotBox boxes its concrete argument at the call boundary; consume is
+// reached from a hot root, so it is checked too (and is clean).
+//
+//lint:hotpath
+func HotBox(c *counterSink) {
+	consume(c) // want "passing concrete value as interface"
+}
+
+//lint:hotpath
+func HotAssign(c *counterSink) {
+	var s Sink
+	s = c // want "storing concrete value into interface"
+	s.Put(2)
+}
+
+//lint:hotpath
+func HotReturn(c *counterSink) Sink {
+	return c // want "returning concrete value as interface"
+}
+
+//lint:hotpath
+func HotPtrLit() {
+	c := &counterSink{} // want "address of composite literal escapes to the heap"
+	c.Put(3)
+}
+
+// HotScratch demonstrates the documented suppression form.
+//
+//lint:hotpath
+func HotScratch(n int) []int {
+	//lint:ignore hotalloc scratch buffer is amortized across the whole run
+	return make([]int, n)
+}
+
+// ColdSetup allocates freely: it is neither annotated nor reached from
+// a hot function, so nothing here is flagged.
+func ColdSetup() []int {
+	buf := make([]int, 0, 64)
+	buf = append(buf, 1)
+	fmt.Println(len(buf))
+	return buf
+}

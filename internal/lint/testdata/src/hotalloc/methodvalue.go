@@ -1,0 +1,20 @@
+package hotalloc
+
+// engine.step allocates; Drive reaches it only through a method value,
+// which must still propagate hot-path membership (the analyzer's
+// call-graph edges include method values, not just calls).
+type engine struct {
+	out []int
+}
+
+func (e *engine) step(v int) {
+	e.out = append(e.out, v) // want "append may grow and allocate"
+}
+
+//lint:hotpath
+func Drive(e *engine, n int) {
+	h := e.step // want "method value allocates a bound-method closure"
+	for i := 0; i < n; i++ {
+		h(i)
+	}
+}

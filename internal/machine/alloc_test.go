@@ -3,6 +3,7 @@ package machine
 import (
 	"testing"
 
+	"cachepirate/internal/cache"
 	"cachepirate/internal/prefetch"
 	"cachepirate/internal/stats"
 	"cachepirate/internal/trace"
@@ -70,4 +71,76 @@ func TestGeneratorNextAllocFree(t *testing.T) {
 	if avg != 0 {
 		t.Errorf("FromTrace.Next allocates %.2f allocs/op, want 0", avg)
 	}
+}
+
+// TestHotPathPrimitivesAllocFree gates every //lint:hotpath-annotated
+// primitive on its own, complementing the fused replay gate above. The
+// hotalloc analyzer proves these paths contain no allocating constructs
+// statically; these runtime gates catch what static analysis cannot
+// see, such as map or slice growth inside calls it treats as opaque.
+func TestHotPathPrimitivesAllocFree(t *testing.T) {
+	gate := func(t *testing.T, name string, f func()) {
+		t.Helper()
+		if avg := testing.AllocsPerRun(2000, f); avg != 0 {
+			t.Errorf("%s allocates %.2f allocs/op, want 0", name, avg)
+		}
+	}
+
+	t.Run("cache", func(t *testing.T) {
+		c := cache.MustNew(cache.Config{Size: 32 << 10, Ways: 8, LineSize: 64, Owners: 2})
+		rng := stats.NewRNG(11)
+		// Span far beyond the cache so misses, fills and evictions all run.
+		next := func() cache.Addr { return cache.Addr(rng.Uint64n(1<<21) &^ 63) }
+		gate(t, "Cache.Access", func() { c.Access(next(), false, 0) })
+		gate(t, "Cache.AccessFill", func() { c.AccessFill(next(), rng.Uint64n(4) == 0, 1) })
+		gate(t, "Cache.Probe", func() { c.Probe(next()) })
+		gate(t, "Cache.Fill", func() { c.Fill(next(), 0, false, false) })
+		gate(t, "Cache.FillMissed", func() {
+			if a := next(); !c.Probe(a) {
+				c.FillMissed(a, 1, false, false)
+			}
+		})
+	})
+
+	t.Run("hierarchy", func(t *testing.T) {
+		m := MustNew(NehalemConfigNoPrefetch())
+		h := m.Hierarchy()
+		rng := stats.NewRNG(12)
+		span := 2 * uint64(m.Config().L3.Size)
+		next := func() cache.Addr { return cache.Addr(rng.Uint64n(span) &^ 63) }
+		for i := 0; i < 4096; i++ { // warm every level past cold fills
+			h.Access(0, next(), false)
+		}
+		gate(t, "Hierarchy.Access", func() { h.Access(0, next(), rng.Uint64n(8) == 0) })
+		gate(t, "Hierarchy.AccessNonTemporal", func() { h.AccessNonTemporal(0, next()) })
+	})
+
+	t.Run("machine", func(t *testing.T) {
+		cfg := NehalemConfigNoPrefetch()
+		m := MustNew(cfg)
+		tr := randomTrace(20_000, 2*uint64(cfg.L3.Size))
+		m.MustAttach(0, workload.NewFromTrace("alloc", tr, 1, 0))
+		m.RunSteps(5000) // warm: maps, server cursors
+		gate(t, "Machine.Step", func() { m.Step() })
+		gate(t, "Machine.RunCycles", func() { m.RunCycles(3) })
+	})
+
+	t.Run("trace", func(t *testing.T) {
+		rep := trace.NewReplayer(randomTrace(4096, 1<<20), true)
+		gate(t, "Replayer.NextRecord", func() { rep.NextRecord() })
+	})
+
+	t.Run("prefetch", func(t *testing.T) {
+		st := prefetch.NewStream(prefetch.StreamConfig{})
+		var a uint64
+		gate(t, "Stream.Observe", func() { st.Observe(a, true); a++ })
+
+		// Train within one 4KB region so the gated loop exercises hits,
+		// stride confirmation and emission without inserting new table
+		// entries (entry installation is covered by the first Observe).
+		sd := prefetch.NewStride(prefetch.StrideConfig{})
+		sd.Observe(0, true)
+		var i uint64
+		gate(t, "Stride.Observe", func() { sd.Observe((i%30)*2, true); i++ })
+	})
 }

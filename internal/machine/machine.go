@@ -252,6 +252,8 @@ func (m *Machine) selectCore() int {
 
 // Step executes one op on the runnable core with the smallest cycle
 // clock. It returns false when no core is runnable.
+//
+//lint:hotpath
 func (m *Machine) Step() bool {
 	sel := m.selectCore()
 	if sel < 0 {
@@ -262,6 +264,8 @@ func (m *Machine) Step() bool {
 }
 
 // stepCore executes core's next op and charges its timing.
+//
+//lint:hotpath
 func (m *Machine) stepCore(core int) {
 	p := m.procs[core]
 	c := m.cores[core]
@@ -372,6 +376,8 @@ func (m *Machine) RunInstructions(core int, n uint64) error {
 // deadline" is exactly "the selected core is below the deadline", and
 // one O(cores) scan per step suffices where a separate pre-check would
 // scan twice.
+//
+//lint:hotpath
 func (m *Machine) RunCycles(n float64) {
 	deadline := m.now + n
 	for {

@@ -166,8 +166,8 @@ func TestStrideTableBounded(t *testing.T) {
 	for i := uint64(0); i < 100; i++ {
 		p.Observe(i*1000000, true) // each in its own region
 	}
-	if len(p.entries) > 4 {
-		t.Errorf("stride table grew to %d entries, cap 4", len(p.entries))
+	if len(p.index) > 4 {
+		t.Errorf("stride table grew to %d entries, cap 4", len(p.index))
 	}
 }
 

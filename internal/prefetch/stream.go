@@ -61,6 +61,8 @@ func (p *Stream) Reset() {
 // Observe trains on the demand line stream and emits prefetches for
 // confirmed streams. Both hits and misses train (a prefetch hit must
 // keep the stream running ahead).
+//
+//lint:hotpath
 func (p *Stream) Observe(lineAddr uint64, miss bool) []uint64 {
 	p.lruTick++
 	p.buf = p.buf[:0]
@@ -106,6 +108,7 @@ func (p *Stream) Observe(lineAddr uint64, miss bool) []uint64 {
 				break
 			}
 			s.ahead = uint64(next)
+			//lint:ignore hotalloc buf is preallocated to cap degree and the loop breaks at degree, so append never grows
 			p.buf = append(p.buf, s.ahead)
 			if len(p.buf) >= p.degree {
 				break

@@ -5,11 +5,18 @@ package prefetch
 // Degree strides ahead once confirmed. Entries are keyed by 4KB region,
 // standing in for the PC-indexed tables real hardware uses (the
 // simulated workload stream carries no PCs).
+// The table is a preallocated slice with a region→slot index: slots
+// are reused on eviction, so steady-state training allocates nothing,
+// and the stalest-entry scan walks the slice in slot order, making
+// eviction ties deterministic (lowest slot wins) instead of following
+// map iteration order.
 type Stride struct {
-	entries map[uint64]*strideEntry
+	index   map[uint64]int
+	table   []strideEntry
+	regions []uint64 // slot -> region key, parallel to table
+	used    int
 	degree  int
 	confirm int
-	maxEnt  int
 	buf     []uint64
 	tick    uint64
 }
@@ -40,10 +47,11 @@ func NewStride(cfg StrideConfig) *Stride {
 		cfg.Entries = 64
 	}
 	return &Stride{
-		entries: make(map[uint64]*strideEntry),
+		index:   make(map[uint64]int, cfg.Entries),
+		table:   make([]strideEntry, cfg.Entries),
+		regions: make([]uint64, cfg.Entries),
 		degree:  cfg.Degree,
 		confirm: cfg.Confirm,
-		maxEnt:  cfg.Entries,
 		buf:     make([]uint64, 0, cfg.Degree),
 	}
 }
@@ -52,33 +60,45 @@ func NewStride(cfg StrideConfig) *Stride {
 func (p *Stride) Name() string { return "stride" }
 
 // Reset clears all training state.
-func (p *Stride) Reset() { p.entries = make(map[uint64]*strideEntry) }
+func (p *Stride) Reset() {
+	p.index = make(map[uint64]int, len(p.table))
+	p.used = 0
+	p.tick = 0
+}
 
 // Observe trains the per-region stride table and emits prefetches for
 // confirmed strides.
+//
+//lint:hotpath
 func (p *Stride) Observe(lineAddr uint64, miss bool) []uint64 {
 	p.tick++
 	const regionLines = 4096 / 64 // 4KB regions in 64B lines
 	region := lineAddr / regionLines
-	e, ok := p.entries[region]
+	slot, ok := p.index[region]
 	if !ok {
 		if !miss {
 			return nil
 		}
-		if len(p.entries) >= p.maxEnt {
-			// Evict the stalest entry to bound table size.
-			var oldK uint64
-			var oldT uint64 = ^uint64(0)
-			for k, v := range p.entries {
-				if v.tick < oldT {
-					oldK, oldT = k, v.tick
+		if p.used >= len(p.table) {
+			// Evict the stalest entry to bound table size; the slot-order
+			// scan makes tick ties deterministic.
+			slot = 0
+			for i := 1; i < p.used; i++ {
+				if p.table[i].tick < p.table[slot].tick {
+					slot = i
 				}
 			}
-			delete(p.entries, oldK)
+			delete(p.index, p.regions[slot])
+		} else {
+			slot = p.used
+			p.used++
 		}
-		p.entries[region] = &strideEntry{last: lineAddr, tick: p.tick}
+		p.table[slot] = strideEntry{last: lineAddr, tick: p.tick}
+		p.regions[slot] = region
+		p.index[region] = slot
 		return nil
 	}
+	e := &p.table[slot]
 	e.tick = p.tick
 	s := int64(lineAddr) - int64(e.last)
 	e.last = lineAddr
@@ -102,6 +122,7 @@ func (p *Stride) Observe(lineAddr uint64, miss bool) []uint64 {
 		if next < 0 {
 			break
 		}
+		//lint:ignore hotalloc buf is preallocated to cap degree and the loop runs at most degree times, so append never grows
 		p.buf = append(p.buf, uint64(next))
 	}
 	return p.buf

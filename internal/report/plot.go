@@ -72,6 +72,12 @@ func (p *Plot) String() string {
 		b.WriteString("(no data)\n")
 		return b.String()
 	}
+	// A NaN coordinate poisons the extents (math.Min/Max propagate it)
+	// and would make the grid-cell conversion below undefined.
+	if math.IsNaN(xmin) || math.IsNaN(xmax) || math.IsNaN(ymin) || math.IsNaN(ymax) {
+		b.WriteString("(non-finite data)\n")
+		return b.String()
+	}
 	if xmax == xmin {
 		xmax = xmin + 1
 	}
@@ -156,9 +162,11 @@ func CurvePlot(title string, c *analysis.Curve, metricName string) *Plot {
 	}
 	pl := NewPlot(title)
 	if len(tx) > 0 {
+		//lint:ignore errcheckdomain tx/ty are appended in lockstep above, so the length check cannot fail
 		_ = pl.AddSeries("trusted", tx, ty)
 	}
 	if len(ux) > 0 {
+		//lint:ignore errcheckdomain ux/uy are appended in lockstep above, so the length check cannot fail
 		_ = pl.AddSeries("untrusted (pirate fetch ratio > threshold)", ux, uy)
 	}
 	return pl

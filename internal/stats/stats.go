@@ -128,9 +128,9 @@ func Percentile(xs []float64, p float64) (float64, error) {
 }
 
 // Lerp linearly interpolates y at x given the sample points (x0,y0) and
-// (x1,y1). When x0 == x1 it returns y0.
+// (x1,y1). When the interval is degenerate or non-finite it returns y0.
 func Lerp(x0, y0, x1, y1, x float64) float64 {
-	if x1 == x0 {
+	if math.IsNaN(x0) || math.IsNaN(x1) || x1 == x0 {
 		return y0
 	}
 	t := (x - x0) / (x1 - x0)

@@ -164,6 +164,8 @@ func NewReplayer(t *Trace, loop bool) *Replayer {
 }
 
 // NextRecord returns the next record.
+//
+//lint:hotpath
 func (r *Replayer) NextRecord() Record {
 	if r.pos >= len(r.t.Records) {
 		if !r.Loop {

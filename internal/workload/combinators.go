@@ -219,6 +219,8 @@ func NewFromTrace(name string, tr *trace.Trace, mlp float64, wss int64) *FromTra
 }
 
 // Next returns the next replayed op.
+//
+//lint:hotpath
 func (f *FromTrace) Next() Op {
 	r := f.rep.NextRecord()
 	return Op{NInstr: r.NInstr, Addr: r.Addr, Write: r.Write}
