@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-quick bench-kernel vet fmt experiments examples cover fuzz staticcheck lint
+.PHONY: build test test-short bench bench-quick bench-kernel bench-sweep vet fmt experiments examples cover fuzz staticcheck lint
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,13 @@ bench-quick:
 # machine step loop, the serial sweep, and the stack-distance analyzer.
 bench-kernel:
 	$(GO) test -run XXX -bench 'Sweep|Machine|Analyze|CacheAccess|Hierarchy' -benchmem ./...
+
+# Fused vs per-size ByWays sweep, per L3 policy, on the acceptance
+# workload (60k records x 16 sizes). Numbers are recorded in
+# BENCH_fusedsweep.json; the fused engine must stay >= 2x.
+bench-sweep:
+	$(GO) test -run XXX -bench 'BenchmarkSweepFused|BenchmarkSweepPerSize' \
+		-benchtime 4x -count 2 -benchmem ./internal/simulate/
 
 # Print every paper table/figure plus extensions and ablations.
 experiments:

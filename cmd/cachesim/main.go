@@ -6,11 +6,15 @@
 // Usage:
 //
 //	cachesim [-records N] [-skip N] [-policy nehalem|lru|plru|random]
-//	         [-mode ways|sets] [-seed N] [-save FILE] [-load FILE] [-csv]
+//	         [-mode ways|sets] [-engine auto|fused|persize] [-nowarm]
+//	         [-seed N] [-save FILE] [-load FILE] [-csv]
 //	         [-j N] [-cpuprofile FILE] <benchmark>
 //
-// The per-size reference simulations fan out across -j workers
-// (default: one per CPU); the curve is identical at any width.
+// ByWays sweeps default to the fused engine (one trace replay for all
+// sizes); -engine persize forces the historical one-machine-per-size
+// path — the curves are bit-identical either way. The per-size
+// simulations fan out across -j workers (default: one per CPU); the
+// curve is identical at any width.
 package main
 
 import (
@@ -36,8 +40,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	save := flag.String("save", "", "write the captured trace to this file")
 	load := flag.String("load", "", "replay a trace file instead of capturing")
+	engine := flag.String("engine", "auto", "sweep engine: auto, fused (one replay, ByWays only), persize")
+	noWarm := flag.Bool("nowarm", false, "measure the first replay cold (no warm-up pass)")
 	csv := flag.Bool("csv", false, "emit CSV")
 	stack := flag.Bool("stack", false, "also print the analytical stack-distance model's curve")
+	mattson := flag.Bool("mattson", false, "also print the exact single-pass Mattson curve of the bare L3 (LRU, ByWays only)")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers across cache sizes (1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	flag.Parse()
@@ -78,6 +85,18 @@ func main() {
 		swMode = simulate.BySets
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	var eng simulate.Engine
+	switch *engine {
+	case "auto":
+		eng = simulate.EngineAuto
+	case "fused":
+		eng = simulate.EngineFused
+	case "persize":
+		eng = simulate.EnginePerSize
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
 		os.Exit(2)
 	}
 
@@ -123,7 +142,8 @@ func main() {
 	}
 
 	mcfg := machine.WithL3Policy(machine.NehalemConfigNoPrefetch(), pol)
-	curve, err := simulate.Sweep(simulate.Config{Machine: mcfg, Mode: swMode, Workers: *workers}, tr)
+	simCfg := simulate.Config{Machine: mcfg, Mode: swMode, Engine: eng, NoWarm: *noWarm, Workers: *workers}
+	curve, err := simulate.Sweep(simCfg, tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -152,6 +172,21 @@ func main() {
 			fmt.Print(st.CSV())
 		} else {
 			fmt.Print(st.String())
+		}
+	}
+
+	if *mattson {
+		mc, err := simulate.MattsonLRUCurve(simCfg, tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		mc.Name = name + "/mattson"
+		mt := report.CurveTable(name+" — exact Mattson single-pass curve (bare L3, set-associative LRU)", mc)
+		if *csv {
+			fmt.Print(mt.CSV())
+		} else {
+			fmt.Print(mt.String())
 		}
 	}
 }

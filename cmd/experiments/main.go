@@ -5,6 +5,7 @@
 //
 //	experiments [-quick] [-interval N] [-cycles N] [-trace N]
 //	            [-benchmarks a,b,c] [-seed N] [-j N]
+//	            [-engine auto|fused|persize]
 //	            [all|fig1|fig2|fig4|fig6|fig7|fig8|fig9|tab2|tab3|fn5 ...]
 //
 // With no experiment arguments it runs everything in paper order.
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"cachepirate/internal/experiments"
+	"cachepirate/internal/simulate"
 )
 
 func main() {
@@ -31,6 +33,7 @@ func main() {
 	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark override")
 	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for independent runs (1 = serial)")
+	engine := flag.String("engine", "auto", "reference-sweep engine: auto, fused, persize (curves identical)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -41,6 +44,19 @@ func main() {
 		return
 	}
 
+	var eng simulate.Engine
+	switch *engine {
+	case "auto":
+		eng = simulate.EngineAuto
+	case "fused":
+		eng = simulate.EngineFused
+	case "persize":
+		eng = simulate.EnginePerSize
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
 	opts := experiments.Options{
 		Quick:          *quick,
 		IntervalInstrs: *interval,
@@ -48,6 +64,7 @@ func main() {
 		TraceRecords:   *traceRecs,
 		Seed:           *seed,
 		Workers:        *workers,
+		Engine:         eng,
 	}
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")

@@ -109,6 +109,11 @@ func (c Config) Sets() int64 { return c.Size / (c.LineSize * int64(c.Ways)) }
 // the tag-match scan needs no separate validity check.
 const invalidTag = ^uint64(0)
 
+// rngSeed is the initial xorshift state of the Random policy; every
+// cache (standalone or replica) starts from the same state so victim
+// sequences are bit-reproducible.
+const rngSeed = 0x853C49E6748FEA9B
+
 // Per-line flag bits (flags array).
 const (
 	flagDirty    uint8 = 1 << iota // line modified since fill
@@ -166,7 +171,21 @@ func New(cfg Config) (*Cache, error) {
 	}
 	nsets := uint64(cfg.Sets())
 	nlines := int(nsets) * cfg.Ways
-	c := &Cache{
+	c := &Cache{}
+	c.init(cfg,
+		make([]uint64, nlines), make([]uint8, nlines), make([]int32, nlines),
+		make([]uint64, nlines), make([]uint64, nsets), make([]uint64, nsets),
+		make([]int32, nsets))
+	return c, nil
+}
+
+// init wires a validated config onto the given backing arrays (sized
+// nlines or nsets as the field requires) and resets them to the empty
+// state. New owns one cache's arrays; NewReplicas carves many caches
+// out of shared contiguous blocks, so both start bit-identical.
+func (c *Cache) init(cfg Config, tags []uint64, flags []uint8, owner []int32, stamp, meta, free []uint64, mru []int32) {
+	nsets := uint64(cfg.Sets())
+	*c = Cache{
 		cfg:      cfg,
 		ways:     cfg.Ways,
 		nsets:    nsets,
@@ -174,15 +193,15 @@ func New(cfg Config) (*Cache, error) {
 		setsPow2: nsets&(nsets-1) == 0,
 		fullMask: ^uint64(0) >> (64 - uint(cfg.Ways)),
 		shift:    uint(bits.TrailingZeros64(uint64(cfg.LineSize))),
-		rngState: 0x853C49E6748FEA9B,
+		rngState: rngSeed,
 		stats:    make([]OwnerStats, cfg.Owners),
-		tags:     make([]uint64, nlines),
-		flags:    make([]uint8, nlines),
-		owner:    make([]int32, nlines),
-		stamp:    make([]uint64, nlines),
-		meta:     make([]uint64, nsets),
-		free:     make([]uint64, nsets),
-		mru:      make([]int32, nsets),
+		tags:     tags,
+		flags:    flags,
+		owner:    owner,
+		stamp:    stamp,
+		meta:     meta,
+		free:     free,
+		mru:      mru,
 	}
 	for i := range c.tags {
 		c.tags[i] = invalidTag
@@ -190,7 +209,6 @@ func New(cfg Config) (*Cache, error) {
 	for i := range c.free {
 		c.free[i] = c.fullMask
 	}
-	return c, nil
 }
 
 // MustNew is New but panics on configuration errors; for tests and
@@ -211,10 +229,18 @@ func (c *Cache) Config() Config { return c.cfg }
 // exception), so the hot path is a mask, not a modulo.
 func (c *Cache) index(a Addr) (setIdx uint64, tag uint64) {
 	lineAddr := uint64(a) >> c.shift
+	return c.setFor(lineAddr), lineAddr
+}
+
+// setFor maps an already-decoded line address (tag) to its set index.
+// The fused multi-size engine decodes each address once — all replicas
+// share one line size, so the tag is shared — and re-derives only the
+// per-geometry set index through this entry point.
+func (c *Cache) setFor(lineAddr uint64) uint64 {
 	if c.setsPow2 {
-		return lineAddr & c.setMask, lineAddr
+		return lineAddr & c.setMask
 	}
-	return lineAddr % c.nsets, lineAddr
+	return lineAddr % c.nsets
 }
 
 func (c *Cache) lineAddr(tag uint64) Addr { return Addr(tag << c.shift) }
@@ -223,18 +249,22 @@ func (c *Cache) lineAddr(tag uint64) Addr { return Addr(tag << c.shift) }
 // -1. The per-set MRU hint is tried first: repeat hits on the same line
 // (the overwhelmingly common case in loop-heavy traces) resolve with a
 // single compare. Tags are unique within a set, so the hint can never
-// find a different way than the scan would.
+// find a different way than the scan would — and the full scan below
+// records at most one match, so dropping the early exit (whose
+// data-dependent branch mispredicts on nearly every scan hit) cannot
+// change the result.
 func (c *Cache) findWay(base int, si uint64, tag uint64) int {
 	if h := int(c.mru[si]); c.tags[base+h] == tag {
 		return h
 	}
 	t := c.tags[base : base+c.ways]
-	for w, tg := range t {
+	w := -1
+	for i, tg := range t {
 		if tg == tag {
-			return w
+			w = i
 		}
 	}
-	return -1
+	return w
 }
 
 // Access performs a demand access (read or write) by owner. On a hit the
@@ -299,6 +329,13 @@ func (c *Cache) hit(si uint64, base, w int, write bool, st *OwnerStats) (wasPref
 //lint:hotpath
 func (c *Cache) AccessFill(a Addr, write bool, owner Owner) Result {
 	si, tag := c.index(a)
+	return c.accessFillTag(si, tag, write, owner)
+}
+
+// accessFillTag is AccessFill after address decode: the caller supplies
+// the set index and line tag, so the fused multi-size engine can decode
+// each address once and fan it out to every replica.
+func (c *Cache) accessFillTag(si, tag uint64, write bool, owner Owner) Result {
 	st := &c.stats[owner]
 	st.Accesses++
 	if write {
@@ -330,6 +367,11 @@ func (c *Cache) Probe(a Addr) bool {
 //lint:hotpath
 func (c *Cache) Fill(a Addr, owner Owner, prefetch, dirty bool) Result {
 	si, tag := c.index(a)
+	return c.fillTag(si, tag, owner, prefetch, dirty)
+}
+
+// fillTag is Fill after address decode (see accessFillTag).
+func (c *Cache) fillTag(si, tag uint64, owner Owner, prefetch, dirty bool) Result {
 	base := int(si) * c.ways
 
 	// Already resident (e.g. a racing prefetch): refresh and return.
@@ -399,6 +441,98 @@ func (c *Cache) fillMissedWB(a Addr, dirty bool) (victimLine Addr, wb bool) {
 	return victimLine, wb
 }
 
+// fillPrivateAt is fillMissedWB for the fused engine's private levels
+// (L1/L2): the caller supplies the set base its demand probe already
+// computed, the statistics writes are elided (private stats never feed
+// a sweep curve), and a dirty victim is reported as a line *tag* — all
+// fused levels share one line size, so the writeback chase re-derives
+// set indices from the tag without the address round trip. Owner bytes
+// stay zero: private caches are single-owner and fillMissedWB always
+// stores owner 0. The state evolution — victim choice, flags,
+// replacement touch, MRU hint — is exactly fillMissedWB's.
+func (c *Cache) fillPrivateAt(si uint64, base int, tag uint64, dirty bool) (victimTag uint64, wb bool) {
+	var victim int
+	if fm := c.free[si]; fm != 0 {
+		victim = bits.TrailingZeros64(fm)
+		c.free[si] = fm &^ (1 << uint(victim))
+	} else {
+		// victim() open-coded: victim and touch are over the inlining
+		// budget (their policy switches call the per-policy helpers),
+		// so the general methods cost a call each — here the dispatch
+		// runs inline and the per-policy leaves inline into it. The
+		// selections are operation-for-operation victim()'s arms.
+		switch c.cfg.Policy {
+		case LRU:
+			st := c.stamp[base : base+c.ways]
+			best, bestStamp := 0, st[0]
+			for w := 1; w < len(st); w++ {
+				if st[w] < bestStamp {
+					best, bestStamp = w, st[w]
+				}
+			}
+			victim = best
+		case PseudoLRU:
+			victim = c.plruVictim(si)
+		case Nehalem:
+			victim = c.nehalemVictim(si)
+		case Random:
+			x := c.rngState
+			x ^= x >> 12
+			x ^= x << 25
+			x ^= x >> 27
+			c.rngState = x
+			victim = int((x * 0x2545F4914F6CDD1D) % uint64(c.ways))
+		}
+		if c.flags[base+victim]&flagDirty != 0 {
+			victimTag = c.tags[base+victim]
+			wb = true
+		}
+	}
+	idx := base + victim
+	c.tags[idx] = tag
+	if dirty {
+		c.flags[idx] = flagDirty
+	} else {
+		c.flags[idx] = 0
+	}
+	// touch() open-coded, same dispatch-inlining argument as above.
+	switch c.cfg.Policy {
+	case LRU:
+		c.clock++
+		c.stamp[idx] = c.clock
+	case PseudoLRU:
+		c.plruTouch(si, victim)
+	case Nehalem:
+		c.nehalemTouch(si, victim)
+	}
+	c.mru[si] = int32(victim)
+	return victimTag, wb
+}
+
+// invalidatePrivate is Invalidate after address decode, reduced to the
+// booleans the back-invalidation path consumes. clearLine performs the
+// identical state transition.
+func (c *Cache) invalidatePrivate(si, tag uint64) (dirty, found bool) {
+	base := int(si) * c.ways
+	w := c.findWay(base, si, tag)
+	if w < 0 {
+		return false, false
+	}
+	dirty = c.flags[base+w]&flagDirty != 0
+	c.clearLine(si, base, w)
+	return dirty, true
+}
+
+// markDirtyTag is MarkDirty after address decode.
+func (c *Cache) markDirtyTag(si, tag uint64) bool {
+	base := int(si) * c.ways
+	if w := c.findWay(base, si, tag); w >= 0 {
+		c.flags[base+w] |= flagDirty
+		return true
+	}
+	return false
+}
+
 // fillWay installs tag into the set starting at base: count the fill,
 // prefer the lowest-numbered empty way (one bit op via the per-set
 // free mask, same way the reference layout's first-invalid scan finds),
@@ -454,12 +588,7 @@ func (c *Cache) fillWay(si uint64, base int, tag uint64, owner Owner, prefetch, 
 // was found.
 func (c *Cache) MarkDirty(a Addr) bool {
 	si, tag := c.index(a)
-	base := int(si) * c.ways
-	if w := c.findWay(base, si, tag); w >= 0 {
-		c.flags[base+w] |= flagDirty
-		return true
-	}
-	return false
+	return c.markDirtyTag(si, tag)
 }
 
 // Invalidate removes the line holding a if resident, returning its
@@ -588,7 +717,10 @@ func (c *Cache) touch(si uint64, base, w int) {
 	}
 }
 
-// victim selects a way to evict from a full set.
+// victim selects a way to evict from a full set. The fused engine's
+// private-fill path (fillPrivateAt) and FusedHierarchy.Access carry
+// open-coded copies of this dispatch — keep the bodies in sync; the
+// victim choice is the bit-identity contract.
 func (c *Cache) victim(si uint64, base int) int {
 	switch c.cfg.Policy {
 	case LRU:

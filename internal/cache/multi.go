@@ -1,0 +1,544 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cachepirate/internal/prefetch"
+)
+
+// Replicas is a family of caches evaluated in lockstep by the fused
+// multi-size sweep: one Cache per L3 size under test, with every dense
+// line-state array (tags, flags, owners, stamps, per-set metadata)
+// carved out of a single contiguous backing block in replica order —
+// a [replica][set][way] extension of the single-cache SoA layout — so
+// the size-inner loop walks one allocation instead of hopping between
+// independently allocated caches. Each replica is bit-identical to a
+// freshly New()ed cache of the same config: the fused engine's results
+// must match the per-size path exactly, and sharing init with New is
+// what makes that hold from the first access.
+type Replicas struct {
+	reps []Cache
+}
+
+// NewReplicas builds one cache per config over shared contiguous
+// backing arrays. All configs must agree on line size (the fused
+// engine decodes each address once and fans the line tag out to every
+// replica).
+func NewReplicas(cfgs []Config) (*Replicas, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("cache: replicas need at least one config")
+	}
+	lines, sets := 0, 0
+	for i, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.LineSize != cfgs[0].LineSize {
+			return nil, fmt.Errorf("cache: replica %d line size %d != %d", i, cfg.LineSize, cfgs[0].LineSize)
+		}
+		lines += int(cfg.Sets()) * cfg.Ways
+		sets += int(cfg.Sets())
+	}
+	tags := make([]uint64, lines)
+	flags := make([]uint8, lines)
+	owner := make([]int32, lines)
+	stamp := make([]uint64, lines)
+	meta := make([]uint64, sets)
+	free := make([]uint64, sets)
+	mru := make([]int32, sets)
+	r := &Replicas{reps: make([]Cache, len(cfgs))}
+	lo, so := 0, 0
+	for i, cfg := range cfgs {
+		nl := int(cfg.Sets()) * cfg.Ways
+		ns := int(cfg.Sets())
+		r.reps[i].init(cfg,
+			tags[lo:lo+nl:lo+nl], flags[lo:lo+nl:lo+nl], owner[lo:lo+nl:lo+nl],
+			stamp[lo:lo+nl:lo+nl], meta[so:so+ns:so+ns], free[so:so+ns:so+ns],
+			mru[so:so+ns:so+ns])
+		lo += nl
+		so += ns
+	}
+	return r, nil
+}
+
+// Len returns the replica count.
+func (r *Replicas) Len() int { return len(r.reps) }
+
+// Rep returns replica k; the full Cache API applies to it.
+func (r *Replicas) Rep(k int) *Cache { return &r.reps[k] }
+
+// FusedHierarchy advances one single-core cache hierarchy per L3 size
+// under the same demand stream: per-replica private L1/L2, per-replica
+// L3, and per-replica prefetcher, each group held in one contiguous
+// Replicas block. Back-invalidations from a shrunk L3 differ by size,
+// so the private levels (and therefore the prefetcher training
+// streams) genuinely diverge across replicas and must all be
+// replicated; what is shared is the trace iteration and the address
+// decode, which Access performs once per call.
+//
+// Access(k, addr, write) is step-for-step the same state evolution and
+// Outcome computation as Hierarchy.Access on a 1-core hierarchy with
+// replica k's L3 — the equivalence the fused sweep's bit-identical
+// guarantee rests on (see conformance.CheckSweepEquivalence).
+type FusedHierarchy struct {
+	cfg        HierarchyConfig
+	l1, l2, l3 *Replicas
+	pf         []prefetch.Prefetcher
+
+	lineSize  int64
+	lineShift uint
+	hasPF     bool
+}
+
+// NewFusedHierarchy builds one hierarchy replica per entry of l3Ways:
+// cfg's L1/L2 are replicated unchanged, and cfg.L3 is way-shrunk to
+// l3Ways[k] with its size scaled proportionally (constant sets — the
+// ByWays sweep geometry). cfg.Cores is ignored; every replica is
+// single-core.
+func NewFusedHierarchy(cfg HierarchyConfig, l3Ways []int) (*FusedHierarchy, error) {
+	if len(l3Ways) == 0 {
+		return nil, fmt.Errorf("cache: fused hierarchy needs at least one L3 size")
+	}
+	cfg.Cores = 1
+	waySize := cfg.L3.Size / int64(cfg.L3.Ways)
+	l1cfgs := make([]Config, len(l3Ways))
+	l2cfgs := make([]Config, len(l3Ways))
+	l3cfgs := make([]Config, len(l3Ways))
+	for k, ways := range l3Ways {
+		l3 := cfg.L3
+		l3.Size = waySize * int64(ways)
+		l3.Ways = ways
+		rc := cfg
+		rc.L3 = l3
+		if err := rc.Validate(); err != nil {
+			return nil, err
+		}
+		l1cfgs[k] = cfg.L1
+		l1cfgs[k].Owners = 1
+		l1cfgs[k].Name = "L1.0"
+		l2cfgs[k] = cfg.L2
+		l2cfgs[k].Owners = 1
+		l2cfgs[k].Name = "L2.0"
+		l3cfgs[k] = l3
+		l3cfgs[k].Owners = 1
+		l3cfgs[k].Name = "L3"
+	}
+	f := &FusedHierarchy{
+		cfg:       cfg,
+		lineSize:  cfg.L3.LineSize,
+		lineShift: uint(bits.TrailingZeros64(uint64(cfg.L3.LineSize))),
+		hasPF:     cfg.NewPrefetcher != nil,
+		pf:        make([]prefetch.Prefetcher, len(l3Ways)),
+	}
+	var err error
+	if f.l1, err = NewReplicas(l1cfgs); err != nil {
+		return nil, err
+	}
+	if f.l2, err = NewReplicas(l2cfgs); err != nil {
+		return nil, err
+	}
+	if f.l3, err = NewReplicas(l3cfgs); err != nil {
+		return nil, err
+	}
+	for k := range f.pf {
+		if cfg.NewPrefetcher != nil {
+			f.pf[k] = cfg.NewPrefetcher()
+		} else {
+			f.pf[k] = prefetch.None{}
+		}
+	}
+	return f, nil
+}
+
+// Replicas returns the number of hierarchy replicas.
+func (f *FusedHierarchy) Replicas() int { return f.l3.Len() }
+
+// L3 returns replica k's last-level cache (counter reads, assertions).
+func (f *FusedHierarchy) L3(k int) *Cache { return f.l3.Rep(k) }
+
+// L1 returns replica k's private L1.
+func (f *FusedHierarchy) L1(k int) *Cache { return f.l1.Rep(k) }
+
+// L2 returns replica k's private L2.
+func (f *FusedHierarchy) L2(k int) *Cache { return f.l2.Rep(k) }
+
+// LineSize returns the shared line size in bytes.
+func (f *FusedHierarchy) LineSize() int64 { return f.lineSize }
+
+// Access performs one demand access on hierarchy replica k and returns
+// its outcome. The address is decoded to a line tag once; per-level set
+// indices are one mask (or modulo) each off that tag.
+//
+// The walk is Hierarchy.Access flattened into a single function: the
+// per-level demand probes, the L3 access-and-fill, the victim
+// back-invalidation and the private-level fills run inline on
+// precomputed set bases, with the private-level (L1/L2) statistics
+// elided. That elision cannot change any observable outcome: private
+// stats never feed a sweep curve (the counter facade reads only core
+// clocks and L3/DRAM events), and private levels never hold
+// prefetch-marked lines, so the flag read-modify-write on clean read
+// hits is value-identical too. The L3 keeps its complete counter set —
+// those are the measured events. Every state transition below is
+// step-for-step the corresponding Cache method (demand, accessFillTag,
+// fillWay, Invalidate); conformance.CheckSweepEquivalence pins the
+// equivalence against per-size machines.
+//
+//lint:hotpath
+func (f *FusedHierarchy) Access(k int, addr Addr, write bool) Outcome {
+	var out Outcome
+	l1 := &f.l1.reps[k]
+	l2 := &f.l2.reps[k]
+	l3 := &f.l3.reps[k]
+	lineSize := f.lineSize
+	tag := uint64(addr) >> f.lineShift
+
+	// L1 demand probe: demand()'s state evolution, stats elided. The
+	// replacement touches here and below open-code touch()'s policy
+	// dispatch: touch is over the inlining budget, so calling it costs
+	// a real call per level per record, while the dispatch written at
+	// the call site inlines its per-policy leaves.
+	si1 := l1.setFor(tag)
+	base1 := int(si1) * l1.ways
+	if w := l1.findWay(base1, si1, tag); w >= 0 {
+		if write {
+			l1.flags[base1+w] |= flagDirty
+		}
+		switch l1.cfg.Policy {
+		case LRU:
+			l1.clock++
+			l1.stamp[base1+w] = l1.clock
+		case PseudoLRU:
+			l1.plruTouch(si1, w)
+		case Nehalem:
+			l1.nehalemTouch(si1, w)
+		}
+		l1.mru[si1] = int32(w)
+		out.ServedBy = LevelL1
+		return out
+	}
+
+	// L2 demand probe.
+	si2 := l2.setFor(tag)
+	base2 := int(si2) * l2.ways
+	if w := l2.findWay(base2, si2, tag); w >= 0 {
+		if write {
+			l2.flags[base2+w] |= flagDirty
+		}
+		switch l2.cfg.Policy {
+		case LRU:
+			l2.clock++
+			l2.stamp[base2+w] = l2.clock
+		case PseudoLRU:
+			l2.plruTouch(si2, w)
+		case Nehalem:
+			l2.nehalemTouch(si2, w)
+		}
+		l2.mru[si2] = int32(w)
+		out.ServedBy = LevelL2
+		out.MemWriteBytes += fillL1At(l1, l2, l3, si1, base1, tag, write, lineSize)
+		return out
+	}
+
+	// The access reaches this replica's L3: one port use, and the
+	// replica's prefetcher observes the demand line stream here. This
+	// is accessFillTag specialised to the single owner: the stats
+	// pointer is hoisted once and the owner array (always zero in a
+	// replica) is neither read nor written.
+	out.L3Accesses++
+	si3 := l3.setFor(tag)
+	base3 := int(si3) * l3.ways
+	st := &l3.stats[0]
+	st.Accesses++
+	if write {
+		st.Writes++
+	}
+	w3 := l3.findWay(base3, si3, tag)
+	if w3 >= 0 {
+		// hit() inline.
+		st.Hits++
+		idx := base3 + w3
+		fl := l3.flags[idx]
+		if fl&flagPrefetch != 0 {
+			fl &^= flagPrefetch
+			st.PrefetchHits++
+			out.PrefetchHit = true
+		}
+		if write {
+			fl |= flagDirty
+		}
+		l3.flags[idx] = fl
+		switch l3.cfg.Policy {
+		case LRU:
+			l3.clock++
+			l3.stamp[idx] = l3.clock
+		case PseudoLRU:
+			l3.plruTouch(si3, w3)
+		case Nehalem:
+			l3.nehalemTouch(si3, w3)
+		}
+		l3.mru[si3] = int32(w3)
+		out.ServedBy = LevelL3
+	} else {
+		// Miss: fillWay inline (demand fills install clean lines), with
+		// the victim's back-invalidation folded into the eviction arm —
+		// it touches only L1/L2 state, so running it before the new
+		// line's install commutes with the install.
+		st.Misses++
+		st.Fills++
+		out.ServedBy = LevelMem
+		out.MemReadBytes += lineSize
+		var victim int
+		if fm := l3.free[si3]; fm != 0 {
+			victim = bits.TrailingZeros64(fm)
+			l3.free[si3] = fm &^ (1 << uint(victim))
+		} else {
+			// victim() open-coded, same call-elision as the touches.
+			switch l3.cfg.Policy {
+			case LRU:
+				// Branchless min-scan; see the private fills below.
+				st := l3.stamp[base3 : base3+l3.ways]
+				best, bestStamp := 0, st[0]
+				for w := 1; w < len(st); w++ {
+					s := st[w]
+					lt := int64(s-bestStamp) >> 63
+					best += int(lt) & (w - best)
+					bestStamp += uint64(lt) & (s - bestStamp)
+				}
+				victim = best
+			case PseudoLRU:
+				victim = l3.plruVictim(si3)
+			case Nehalem:
+				victim = l3.nehalemVictim(si3)
+			case Random:
+				x := l3.rngState
+				x ^= x >> 12
+				x ^= x << 25
+				x ^= x >> 27
+				l3.rngState = x
+				victim = int((x * 0x2545F4914F6CDD1D) % uint64(l3.ways))
+			}
+			idx := base3 + victim
+			st.Evictions++
+			vDirty := l3.flags[idx]&flagDirty != 0
+			if vDirty {
+				st.Writebacks++
+			}
+			vt := l3.tags[idx]
+			if d, ok := l1.invalidatePrivate(l1.setFor(vt), vt); ok && d {
+				vDirty = true
+			}
+			if d, ok := l2.invalidatePrivate(l2.setFor(vt), vt); ok && d {
+				vDirty = true
+			}
+			if vDirty {
+				out.MemWriteBytes += lineSize
+			}
+		}
+		idx := base3 + victim
+		l3.tags[idx] = tag
+		l3.flags[idx] = 0
+		switch l3.cfg.Policy {
+		case LRU:
+			l3.clock++
+			l3.stamp[idx] = l3.clock
+		case PseudoLRU:
+			l3.plruTouch(si3, victim)
+		case Nehalem:
+			l3.nehalemTouch(si3, victim)
+		}
+		l3.mru[si3] = int32(victim)
+	}
+	if f.hasPF {
+		d := f.trainPrefetcher(k, tag, w3 < 0)
+		out.L3Accesses += d.L3Accesses
+		out.MemReadBytes += d.MemReadBytes
+		out.MemWriteBytes += d.MemWriteBytes
+		out.Prefetches += d.Prefetches
+	}
+
+	// Fill the private levels at the bases the probes computed. Both
+	// fills are fillPrivateAt open-coded — at this loop's rate the call
+	// itself is measurable — with each writeback chase hoisted into the
+	// eviction arm: the chase reads and writes only the *other* levels'
+	// state, so running it before this level's install commutes. The
+	// fills still run strictly in order (all of L2, then all of L1),
+	// matching the helper-based sequence state change for state change.
+
+	// L2 fill; a dirty victim writes back to L3 or, if absent, DRAM.
+	var v2 int
+	if fm := l2.free[si2]; fm != 0 {
+		v2 = bits.TrailingZeros64(fm)
+		l2.free[si2] = fm &^ (1 << uint(v2))
+	} else {
+		switch l2.cfg.Policy {
+		case LRU:
+			// Branchless min-scan: the update-best branch of the plain
+			// scan is data-dependent and mispredicts at this loop's
+			// rate. Stamps are per-cache touch counters, far below
+			// 2^63, so the subtraction's sign bit is a reliable
+			// less-than; strict less-than keeps the first minimum,
+			// matching victim()'s tie-break exactly.
+			st := l2.stamp[base2 : base2+l2.ways]
+			best, bestStamp := 0, st[0]
+			for w := 1; w < len(st); w++ {
+				s := st[w]
+				lt := int64(s-bestStamp) >> 63 // -1 iff s < bestStamp
+				best += int(lt) & (w - best)
+				bestStamp += uint64(lt) & (s - bestStamp)
+			}
+			v2 = best
+		case PseudoLRU:
+			v2 = l2.plruVictim(si2)
+		case Nehalem:
+			v2 = l2.nehalemVictim(si2)
+		case Random:
+			x := l2.rngState
+			x ^= x >> 12
+			x ^= x << 25
+			x ^= x >> 27
+			l2.rngState = x
+			v2 = int((x * 0x2545F4914F6CDD1D) % uint64(l2.ways))
+		}
+		if l2.flags[base2+v2]&flagDirty != 0 {
+			vt := l2.tags[base2+v2]
+			if !l3.markDirtyTag(l3.setFor(vt), vt) {
+				out.MemWriteBytes += lineSize
+			}
+		}
+	}
+	idx2 := base2 + v2
+	l2.tags[idx2] = tag
+	l2.flags[idx2] = 0
+	switch l2.cfg.Policy {
+	case LRU:
+		l2.clock++
+		l2.stamp[idx2] = l2.clock
+	case PseudoLRU:
+		l2.plruTouch(si2, v2)
+	case Nehalem:
+		l2.nehalemTouch(si2, v2)
+	}
+	l2.mru[si2] = int32(v2)
+
+	// L1 fill; a dirty victim's writeback chases L2, then L3, then DRAM.
+	var v1 int
+	if fm := l1.free[si1]; fm != 0 {
+		v1 = bits.TrailingZeros64(fm)
+		l1.free[si1] = fm &^ (1 << uint(v1))
+	} else {
+		switch l1.cfg.Policy {
+		case LRU:
+			// Branchless min-scan; see the L2 fill above.
+			st := l1.stamp[base1 : base1+l1.ways]
+			best, bestStamp := 0, st[0]
+			for w := 1; w < len(st); w++ {
+				s := st[w]
+				lt := int64(s-bestStamp) >> 63
+				best += int(lt) & (w - best)
+				bestStamp += uint64(lt) & (s - bestStamp)
+			}
+			v1 = best
+		case PseudoLRU:
+			v1 = l1.plruVictim(si1)
+		case Nehalem:
+			v1 = l1.nehalemVictim(si1)
+		case Random:
+			x := l1.rngState
+			x ^= x >> 12
+			x ^= x << 25
+			x ^= x >> 27
+			l1.rngState = x
+			v1 = int((x * 0x2545F4914F6CDD1D) % uint64(l1.ways))
+		}
+		if l1.flags[base1+v1]&flagDirty != 0 {
+			vt := l1.tags[base1+v1]
+			if !l2.markDirtyTag(l2.setFor(vt), vt) {
+				if !l3.markDirtyTag(l3.setFor(vt), vt) {
+					out.MemWriteBytes += lineSize
+				}
+			}
+		}
+	}
+	idx1 := base1 + v1
+	l1.tags[idx1] = tag
+	if write {
+		l1.flags[idx1] = flagDirty
+	} else {
+		l1.flags[idx1] = 0
+	}
+	switch l1.cfg.Policy {
+	case LRU:
+		l1.clock++
+		l1.stamp[idx1] = l1.clock
+	case PseudoLRU:
+		l1.plruTouch(si1, v1)
+	case Nehalem:
+		l1.nehalemTouch(si1, v1)
+	}
+	l1.mru[si1] = int32(v1)
+	return out
+}
+
+// fillL1At installs the line into L1 at the probe-computed set base and
+// chases a dirty victim's writeback through L2, then L3, then memory —
+// Hierarchy.fillL1 on replica state. It returns the DRAM writeback
+// bytes (0 or the line size) rather than mutating an Outcome: keeping
+// Access free of address-taken locals lets its outcome live entirely
+// in registers.
+func fillL1At(l1, l2, l3 *Cache, si1 uint64, base1 int, tag uint64, write bool, lineSize int64) int64 {
+	if vt, wb := l1.fillPrivateAt(si1, base1, tag, write); wb {
+		if !l2.markDirtyTag(l2.setFor(vt), vt) {
+			if !l3.markDirtyTag(l3.setFor(vt), vt) {
+				return lineSize
+			}
+		}
+	}
+	return 0
+}
+
+// trainPrefetcher mirrors Hierarchy.trainPrefetcher for replica k: the
+// demand line feeds the replica's prefetcher, and proposals fill the
+// replica's L3 (a resident proposal is a no-op, exactly as in Fill).
+// The side effects are returned as an Outcome-shaped delta (ServedBy
+// and PrefetchHit unused) so the caller's outcome stays register
+// resident.
+func (f *FusedHierarchy) trainPrefetcher(k int, tag uint64, miss bool) Outcome {
+	var d Outcome
+	l3 := &f.l3.reps[k]
+	for _, pl := range f.pf[k].Observe(tag, miss) {
+		r := l3.fillTag(l3.setFor(pl), pl, 0, true, false)
+		if r.Hit {
+			continue // already resident; nothing was disturbed
+		}
+		d.L3Accesses++
+		d.MemReadBytes += f.lineSize
+		d.Prefetches++
+		d.MemWriteBytes += f.backInvalidate(k, r.Evicted)
+	}
+	return d
+}
+
+// backInvalidate removes an evicted L3 victim from replica k's private
+// caches (inclusive L3), returning the DRAM writeback bytes the
+// eviction causes. Replicas are single-owner, so only the single-owner
+// arm of Hierarchy.backInvalidate is mirrored.
+func (f *FusedHierarchy) backInvalidate(k int, ev Evicted) int64 {
+	if !ev.Valid {
+		return 0
+	}
+	dirty := ev.Dirty
+	tag := uint64(ev.LineAddr) >> f.lineShift
+	l1 := &f.l1.reps[k]
+	l2 := &f.l2.reps[k]
+	if d, ok := l1.invalidatePrivate(l1.setFor(tag), tag); ok && d {
+		dirty = true
+	}
+	if d, ok := l2.invalidatePrivate(l2.setFor(tag), tag); ok && d {
+		dirty = true
+	}
+	if dirty {
+		return f.lineSize
+	}
+	return 0
+}

@@ -17,6 +17,7 @@ import (
 	"cachepirate/internal/machine"
 	"cachepirate/internal/report"
 	"cachepirate/internal/runner"
+	"cachepirate/internal/simulate"
 	"cachepirate/internal/workload"
 )
 
@@ -47,6 +48,11 @@ type Options struct {
 	// workload on its own machine; <= 0 means one worker per CPU, 1
 	// reproduces the historical serial order exactly.
 	Workers int
+	// Engine selects the reference-sweep engine for experiments that
+	// run simulate.Sweep. The zero value (EngineAuto) picks per sweep
+	// mode; the curves are bit-identical across engines, so this only
+	// matters for forcing a path (benchmarking, debugging).
+	Engine simulate.Engine
 }
 
 func (o Options) withDefaults() Options {

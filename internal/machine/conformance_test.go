@@ -1,11 +1,29 @@
-package machine
+// An external test package: conformance (transitively, via
+// internal/simulate's fused sweep engine) imports machine, so these
+// checks must live outside the machine package to avoid an import
+// cycle.
+package machine_test
 
 import (
 	"testing"
 
+	"cachepirate/internal/cache"
 	"cachepirate/internal/conformance"
+	"cachepirate/internal/machine"
 	"cachepirate/internal/workload"
 )
+
+// conformanceConfig mirrors the in-package smallConfig helper: a
+// scaled-down machine for fast tests (1KB L1, 4KB L2, 64KB L3).
+func conformanceConfig(cores int) machine.Config {
+	cfg := machine.NehalemConfig()
+	cfg.Cores = cores
+	cfg.L1 = cache.Config{Name: "L1", Size: 1 << 10, Ways: 2, LineSize: 64, Policy: cache.LRU}
+	cfg.L2 = cache.Config{Name: "L2", Size: 4 << 10, Ways: 4, LineSize: 64, Policy: cache.LRU}
+	cfg.L3 = cache.Config{Name: "L3", Size: 64 << 10, Ways: 16, LineSize: 64, Policy: cache.Nehalem}
+	cfg.NewPrefetcher = nil
+	return cfg
+}
 
 // TestHierarchyCountersConserved drives a mixed multicore run and then
 // verifies the full conformance invariant set on the machine's
@@ -14,10 +32,11 @@ import (
 // (a counter bumped twice, a fill not recorded) that the behavioural
 // tests never look at.
 func TestHierarchyCountersConserved(t *testing.T) {
-	m := MustNew(smallConfig(3))
+	m := machine.MustNew(conformanceConfig(3))
 	m.MustAttach(0, workload.NewRandomAccess(workload.RandomConfig{
 		Name: "r", Span: 48 << 10, NInstr: 2, WriteFrac: 0.3, Seed: 7}))
-	m.MustAttach(1, seqGen(32<<10))
+	m.MustAttach(1, workload.NewSequential(workload.SequentialConfig{
+		Name: "seq", Span: 32 << 10, NInstr: 2}))
 	m.MustAttach(2, workload.NewRandomAccess(workload.RandomConfig{
 		Name: "r2", Span: 96 << 10, NInstr: 1, Seed: 9}))
 
@@ -39,10 +58,11 @@ func TestHierarchyCountersConserved(t *testing.T) {
 // check with a live prefetcher, covering the prefetch-fill accounting
 // paths (fetches > demand misses, prefetched-line promotion).
 func TestHierarchyCountersConservedWithPrefetch(t *testing.T) {
-	cfg := smallConfig(2)
-	cfg.NewPrefetcher = NehalemConfig().NewPrefetcher
-	m := MustNew(cfg)
-	m.MustAttach(0, seqGen(128<<10))
+	cfg := conformanceConfig(2)
+	cfg.NewPrefetcher = machine.NehalemConfig().NewPrefetcher
+	m := machine.MustNew(cfg)
+	m.MustAttach(0, workload.NewSequential(workload.SequentialConfig{
+		Name: "seq", Span: 128 << 10, NInstr: 2}))
 	m.MustAttach(1, workload.NewRandomAccess(workload.RandomConfig{
 		Name: "r", Span: 48 << 10, NInstr: 2, Seed: 3}))
 	m.RunSteps(40_000)

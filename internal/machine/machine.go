@@ -69,7 +69,7 @@ type proc struct {
 	shared bool
 
 	// In-flight op state: ops with many leading instructions retire in
-	// scheduler-sized chunks (see stepChunk) so no core's clock jumps
+	// scheduler-sized chunks (see StepChunk) so no core's clock jumps
 	// far past its peers in one step. Atomic jumps would let a lagging
 	// core issue memory requests "in the past", behind future-time
 	// requests already accepted by the FIFO bandwidth servers, which
@@ -79,8 +79,13 @@ type proc struct {
 	hasPending bool
 }
 
-// stepChunk bounds how many instructions one scheduler step retires.
-const stepChunk = 64
+// StepChunk bounds how many instructions one scheduler step retires.
+// Exported because the fused sweep engine (internal/simulate) must
+// replicate stepCore's chunked retirement exactly: cycle clocks are
+// float64 sums, so retiring the same instructions in different chunk
+// sizes would round differently and break bit-identity with the
+// per-size path.
+const StepChunk = 64
 
 // Machine is the simulated system.
 type Machine struct {
@@ -278,9 +283,9 @@ func (m *Machine) stepCore(core int) {
 		p.pendingIn = p.pending.NInstr
 		p.hasPending = true
 	}
-	if p.pendingIn > stepChunk {
-		c.RetireInstrs(stepChunk)
-		p.pendingIn -= stepChunk
+	if p.pendingIn > StepChunk {
+		c.RetireInstrs(StepChunk)
+		p.pendingIn -= StepChunk
 		return
 	}
 	if p.pendingIn > 0 {

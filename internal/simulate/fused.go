@@ -1,0 +1,337 @@
+// The fused sweep engine: every ByWays cache size from one trace
+// replay.
+//
+// The per-size path replays the trace once per size — 16 full machine
+// replays for the default way sweep, each re-decoding the trace and
+// re-driving a scheduler, a bandwidth-server object pair and a cpu.Core
+// per size. Way-shrunk sizes share line size and set count, so the
+// fused engine iterates the trace once, decodes each record once, and
+// fans the access out to one hierarchy replica per size
+// (cache.FusedHierarchy): per-replica L1/L2/L3 state lives in
+// contiguous SoA blocks and the per-replica timing state (cycle clock,
+// bandwidth-server cursors, DRAM byte counters) lives in registers for
+// the duration of a record block.
+//
+// Bit-identity with the per-size path is load-bearing and rests on
+// three facts. First, a single-core machine's scheduler is trivial:
+// RunInstructions(core 0, one trace pass) retires exactly the trace's
+// records in order, and the chunked instruction retirement
+// (machine.StepChunk) never straddles a pass boundary, because a
+// record's access retires in the same step as its last instruction
+// chunk. Second, the timing recurrence per record is a pure function of
+// (previous clock, bandwidth cursors, hierarchy outcome); replayBlock
+// reproduces stepCore's float64 operations in the same order, so the
+// sums round identically. Third, the hierarchy replicas start
+// bit-identical to fresh machines and cache.FusedHierarchy.Access is
+// step-for-step Hierarchy.Access. conformance.CheckSweepEquivalence
+// pins all of this down against the retained per-size oracle.
+package simulate
+
+import (
+	"context"
+	"fmt"
+
+	"cachepirate/internal/analysis"
+	"cachepirate/internal/cache"
+	"cachepirate/internal/counters"
+	"cachepirate/internal/cpu"
+	"cachepirate/internal/machine"
+	"cachepirate/internal/runner"
+	"cachepirate/internal/trace"
+)
+
+// fusedBlock is how many trace records the engine replays per replica
+// before moving to the next replica. Large enough to amortise the
+// per-replica timing-state spill/reload, small enough that a replica's
+// working lines stay cache-resident across its turn.
+const fusedBlock = 256
+
+// repClock is one replica's timing state: the fields a per-size
+// machine keeps in cpu.Core, the two mem.Servers and the machine's
+// DRAM byte counters, reduced to what the sweep's counter reads
+// observe. replayBlock loads these into locals for a block of records.
+type repClock struct {
+	cycles   float64 // cpu.Core cycle clock
+	instrs   uint64  // retired instructions
+	memAccs  uint64  // demand memory accesses
+	l3Free   float64 // L3 port server's next-free cursor
+	dramFree float64 // DRAM server's next-free cursor
+	memRead  uint64  // cumulative DRAM read bytes
+	memWrite uint64  // cumulative DRAM write bytes
+}
+
+// fusedEngine advances one hierarchy replica per size through the
+// shared trace.
+type fusedEngine struct {
+	fh   *cache.FusedHierarchy
+	recs []trace.Record
+
+	params      cpu.Params
+	mlp         float64
+	lineSize    int64
+	l3BPC       float64 // L3 port bytes/cycle
+	dramBPC     float64 // DRAM bytes/cycle
+	dramLat     float64 // DRAM base latency in cycles
+	chunkCycles float64 // cycles per full StepChunk of instructions
+
+	// Precomputed single-line service times. Almost every record moves
+	// exactly one line per server (one L3 port use, one DRAM fill or
+	// writeback), so the division float64(lineSize)/BPC the per-size
+	// servers perform per request resolves to the same quotient every
+	// time; computing it once and reusing it is the identical IEEE
+	// operation on identical operands — bit-equal — and keeps an FDIV
+	// out of the record loop. Multi-line requests fall back to the
+	// general division.
+	l3LineCyc   float64 // float64(lineSize) / l3BPC
+	dramLineCyc float64 // float64(lineSize) / dramBPC
+
+	warm int
+	clk  []repClock
+	base []counters.Sample
+}
+
+func newFusedEngine(cfg Config, tr *trace.Trace, ways []int) (*fusedEngine, error) {
+	fh, err := cache.NewFusedHierarchy(cache.HierarchyConfig{
+		Cores:         1,
+		L1:            cfg.Machine.L1,
+		L2:            cfg.Machine.L2,
+		L3:            cfg.Machine.L3,
+		NewPrefetcher: cfg.Machine.NewPrefetcher,
+	}, ways)
+	if err != nil {
+		return nil, err
+	}
+	mlp := cfg.MLP
+	if mlp < 1 {
+		mlp = 1 // the generator/attach clamp of the per-size path
+	}
+	return &fusedEngine{
+		fh:          fh,
+		recs:        tr.Records,
+		params:      cfg.Machine.CPU,
+		mlp:         mlp,
+		lineSize:    cfg.Machine.L3.LineSize,
+		l3BPC:       cfg.Machine.L3Port.BytesPerCycle,
+		dramBPC:     cfg.Machine.DRAM.BytesPerCycle,
+		dramLat:     cfg.Machine.DRAM.BaseLatency,
+		chunkCycles: float64(machine.StepChunk) * cfg.Machine.CPU.BaseCPI,
+		l3LineCyc:   float64(cfg.Machine.L3.LineSize) / cfg.Machine.L3Port.BytesPerCycle,
+		dramLineCyc: float64(cfg.Machine.L3.LineSize) / cfg.Machine.DRAM.BytesPerCycle,
+		warm:        cfg.WarmPasses,
+		clk:         make([]repClock, len(ways)),
+		base:        make([]counters.Sample, len(ways)),
+	}, nil
+}
+
+// run replays warm+1 trace passes through every replica, capturing the
+// per-replica counter baselines between the last warm pass and the
+// measured one — exactly where the per-size path calls PMU.MarkAll.
+func (e *fusedEngine) run() {
+	for pass := 0; pass <= e.warm; pass++ {
+		if pass == e.warm {
+			for k := range e.base {
+				e.base[k] = e.sample(k)
+			}
+		}
+		n := len(e.recs)
+		for lo := 0; lo < n; lo += fusedBlock {
+			hi := lo + fusedBlock
+			if hi > n {
+				hi = n
+			}
+			blk := e.recs[lo:hi]
+			for k := range e.clk {
+				e.replayBlock(blk, k)
+			}
+		}
+	}
+}
+
+// replayBlock advances replica k through one block of records. This is
+// the size-inner loop of the fused sweep: all timing state lives in
+// locals, and each record costs one FusedHierarchy.Access plus the
+// same float64 timing recurrence stepCore computes — term for term, in
+// stepCore's evaluation order, so the clocks agree bit for bit with a
+// per-size machine replay.
+//
+//lint:hotpath
+func (e *fusedEngine) replayBlock(blk []trace.Record, k int) {
+	t := &e.clk[k]
+	cycles := t.cycles
+	instrs := t.instrs
+	memAccs := t.memAccs
+	l3Free := t.l3Free
+	dramFree := t.dramFree
+	memRead := t.memRead
+	memWrite := t.memWrite
+	// Hoist every engine field the loop reads: the compiler cannot
+	// prove the Access call leaves *e unchanged, so field reads inside
+	// the loop would reload from memory every record.
+	fh := e.fh
+	params := e.params
+	baseCPI := params.BaseCPI
+	chunkCycles := e.chunkCycles
+	lineSize := e.lineSize
+	l3BPC := e.l3BPC
+	dramBPC := e.dramBPC
+	dramLat := e.dramLat
+	mlp := e.mlp
+	l3LineCyc := e.l3LineCyc
+	dramLineCyc := e.dramLineCyc
+
+	for _, rec := range blk {
+		// Leading instructions, chunked as stepCore retires them.
+		n := rec.NInstr
+		for n > machine.StepChunk {
+			instrs += machine.StepChunk
+			cycles += chunkCycles
+			n -= machine.StepChunk
+		}
+		if n > 0 {
+			instrs += uint64(n)
+			cycles += float64(n) * baseCPI
+		}
+		now := cycles
+
+		out := fh.Access(k, cache.Addr(rec.Addr), rec.Write)
+
+		// L3 port queueing (mem.Server.Request on the l3port server).
+		var l3Queue, memDelay float64
+		if out.L3Accesses > 0 {
+			start := now
+			if l3Free > start {
+				l3Queue = l3Free - now
+				start = l3Free
+			}
+			if out.L3Accesses == 1 {
+				l3Free = start + l3LineCyc
+			} else {
+				l3Free = start + float64(int64(out.L3Accesses)*lineSize)/l3BPC
+			}
+		}
+		// DRAM read, then writeback — stepCore's request order.
+		if out.MemReadBytes > 0 {
+			var backlog float64
+			start := now
+			if dramFree > start {
+				backlog = dramFree - now
+				start = dramFree
+			}
+			if out.MemReadBytes == lineSize {
+				dramFree = start + dramLineCyc
+			} else {
+				dramFree = start + float64(out.MemReadBytes)/dramBPC
+			}
+			if out.ServedBy == cache.LevelMem {
+				memDelay = dramFree + dramLat - now
+			} else {
+				memDelay = backlog
+			}
+			memRead += uint64(out.MemReadBytes)
+		}
+		if out.MemWriteBytes > 0 {
+			start := now
+			if dramFree > start {
+				start = dramFree
+			}
+			if out.MemWriteBytes == lineSize {
+				dramFree = start + dramLineCyc
+			} else {
+				dramFree = start + float64(out.MemWriteBytes)/dramBPC
+			}
+			memWrite += uint64(out.MemWriteBytes)
+		}
+
+		cost := cpu.AccessCost(params, out, memDelay, l3Queue, mlp)
+		cycles += baseCPI + cost
+		instrs++
+		memAccs++
+	}
+
+	t.cycles = cycles
+	t.instrs = instrs
+	t.memAccs = memAccs
+	t.l3Free = l3Free
+	t.dramFree = dramFree
+	t.memRead = memRead
+	t.memWrite = memWrite
+}
+
+// sample assembles replica k's cumulative counters exactly as
+// machine.ReadCounters(0) would on the equivalent per-size machine.
+func (e *fusedEngine) sample(k int) counters.Sample {
+	st := e.fh.L3(k).Stats(0)
+	t := &e.clk[k]
+	return counters.Sample{
+		Instructions:  t.instrs,
+		Cycles:        uint64(t.cycles),
+		MemAccesses:   t.memAccs,
+		L3Accesses:    st.Accesses,
+		L3Misses:      st.Misses,
+		L3Fetches:     st.Fetches(),
+		L3Prefetches:  st.PrefetchFills,
+		MemReadBytes:  t.memRead,
+		MemWriteBytes: t.memWrite,
+	}
+}
+
+// sweepFused is the fused-engine Sweep body: validate every size up
+// front with the per-size path's error shapes, partition the sizes
+// into one contiguous chunk per worker, and run each chunk's replicas
+// through one shared-trace replay. Replicas never interact, so the
+// partition width cannot change any point.
+func sweepFused(cfg Config, tr *trace.Trace) (*analysis.Curve, error) {
+	ways := make([]int, len(cfg.Sizes))
+	for i, size := range cfg.Sizes {
+		mcfg, err := shrink(cfg.Machine, cfg.Mode, size)
+		if err != nil {
+			return nil, err
+		}
+		if err := mcfg.Validate(); err != nil {
+			return nil, fmt.Errorf("simulate: size %d: %w", size, err)
+		}
+		ways[i] = mcfg.L3.Ways
+	}
+	pool := runner.Pool{Workers: cfg.Workers}
+	chunks := pool.EffectiveWorkers(len(cfg.Sizes))
+	chunkPoints, err := runner.Map(context.Background(), pool, chunks,
+		func(_ context.Context, c int) ([]analysis.Point, error) {
+			lo := c * len(cfg.Sizes) / chunks
+			hi := (c + 1) * len(cfg.Sizes) / chunks
+			return fusedPoints(cfg, tr, cfg.Sizes[lo:hi], ways[lo:hi])
+		})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]analysis.Point, 0, len(cfg.Sizes))
+	for _, pts := range chunkPoints {
+		points = append(points, pts...)
+	}
+	curve := &analysis.Curve{Name: "reference", Points: points}
+	curve.Sort()
+	return curve, nil
+}
+
+// fusedPoints simulates one chunk of sizes through one fused replay
+// and assembles their curve points.
+func fusedPoints(cfg Config, tr *trace.Trace, sizes []int64, ways []int) ([]analysis.Point, error) {
+	e, err := newFusedEngine(cfg, tr, ways)
+	if err != nil {
+		return nil, err
+	}
+	e.run()
+	points := make([]analysis.Point, len(sizes))
+	for k, size := range sizes {
+		s := e.sample(k).Sub(e.base[k])
+		points[k] = analysis.Point{
+			CacheBytes:   size,
+			CPI:          s.CPI(),
+			BandwidthGBs: s.BandwidthGBs(cfg.Machine.CPU.FreqHz),
+			FetchRatio:   s.FetchRatio(),
+			MissRatio:    s.MissRatio(),
+			Trusted:      true,
+			Samples:      1,
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,160 @@
+package simulate
+
+import (
+	"testing"
+
+	"cachepirate/internal/cache"
+	"cachepirate/internal/workload"
+)
+
+// benchSweepConfig is the BenchmarkSweepSerial workload (60k records,
+// 16 default sizes) with the engine pinned.
+func benchSweepConfig(policy cache.PolicyKind, engine Engine) Config {
+	mcfg := smallMachine()
+	mcfg.L3.Policy = policy
+	return Config{Machine: mcfg, Workers: 1, Engine: engine}
+}
+
+func benchSweepSizes(policy cache.PolicyKind) []int64 {
+	if policy != cache.PseudoLRU {
+		return nil // default: one size per way, 16 sizes
+	}
+	// Pseudo-LRU needs power-of-two ways.
+	way := int64(4 << 10)
+	return []int64{1 * way, 2 * way, 4 * way, 8 * way, 16 * way}
+}
+
+var benchPolicies = []cache.PolicyKind{cache.Nehalem, cache.LRU, cache.PseudoLRU, cache.Random}
+
+// BenchmarkSweepFused measures the fused single-replay engine on the
+// BenchmarkSweepSerial workload, per L3 policy.
+func BenchmarkSweepFused(b *testing.B) {
+	tr := CaptureTrace(randFactory(64<<10), 1, 0, 60000)
+	for _, policy := range benchPolicies {
+		b.Run(policy.String(), func(b *testing.B) {
+			cfg := benchSweepConfig(policy, EngineFused)
+			cfg.Sizes = benchSweepSizes(policy)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Sweep(cfg, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepPerSize measures the historical one-machine-per-size
+// path on the same workload, per L3 policy.
+func BenchmarkSweepPerSize(b *testing.B) {
+	tr := CaptureTrace(randFactory(64<<10), 1, 0, 60000)
+	for _, policy := range benchPolicies {
+		b.Run(policy.String(), func(b *testing.B) {
+			cfg := benchSweepConfig(policy, EnginePerSize)
+			cfg.Sizes = benchSweepSizes(policy)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Sweep(cfg, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestFusedInnerLoopAllocFree pins the fused size-inner loop at zero
+// allocations per block: the loop runs ~millions of times per sweep,
+// so a single escaping value would dominate the profile.
+func TestFusedInnerLoopAllocFree(t *testing.T) {
+	tr := CaptureTrace(randFactory(64<<10), 1, 0, 2*fusedBlock)
+	cfg := Config{Machine: smallMachine(), Workers: 1}.withDefaults()
+	ways := make([]int, len(cfg.Sizes))
+	for i, size := range cfg.Sizes {
+		mcfg, err := shrink(cfg.Machine, cfg.Mode, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ways[i] = mcfg.L3.Ways
+	}
+	e, err := newFusedEngine(cfg, tr, ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := e.recs[:fusedBlock]
+	// Warm every replica once so steady-state fills are exercised too.
+	for k := range e.clk {
+		e.replayBlock(blk, k)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for k := range e.clk {
+			e.replayBlock(blk, k)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("fused inner loop allocates %v times per block sweep; want 0", allocs)
+	}
+}
+
+// TestFusedEngineRequiresByWays pins the explicit-engine error: the
+// fused engine shares one decoded stream across sizes, which BySets
+// geometry cannot do.
+func TestFusedEngineRequiresByWays(t *testing.T) {
+	tr := CaptureTrace(randFactory(32<<10), 1, 0, 100)
+	_, err := Sweep(Config{Machine: smallMachine(), Mode: BySets, Engine: EngineFused}, tr)
+	if err == nil {
+		t.Fatal("fused engine accepted a BySets sweep")
+	}
+}
+
+// TestNoWarmMeasuresColdCache pins the WarmPasses fix: NoWarm must
+// measure the very first replay (cold caches see compulsory misses),
+// while the default warms the hierarchy first.
+func TestNoWarmMeasuresColdCache(t *testing.T) {
+	// A sequential trace that fits the L3: warmed, it hits every time;
+	// cold, every line is a compulsory miss.
+	tr := CaptureTrace(func(seed uint64) workload.Generator {
+		return workload.NewSequential(workload.SequentialConfig{Name: "s", Span: 16 << 10, NInstr: 2})
+	}, 1, 0, 4000)
+	size := []int64{64 << 10}
+	warm, err := Sweep(Config{Machine: smallMachine(), Sizes: size}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Sweep(Config{Machine: smallMachine(), Sizes: size, NoWarm: true}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Points[0].FetchRatio <= warm.Points[0].FetchRatio {
+		t.Errorf("cold fetch ratio %g not above warm %g — NoWarm did not skip warm-up",
+			cold.Points[0].FetchRatio, warm.Points[0].FetchRatio)
+	}
+	// Both engines must agree on the cold measurement too (the matrix
+	// test covers this broadly; this is the targeted regression).
+	coldPer, err := Sweep(Config{Machine: smallMachine(), Sizes: size, NoWarm: true, Engine: EnginePerSize}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Points[0] != coldPer.Points[0] {
+		t.Errorf("cold point differs across engines: %+v vs %+v", cold.Points[0], coldPer.Points[0])
+	}
+}
+
+// TestWarmPassesExplicitValues pins withDefaults' WarmPasses handling:
+// zero means the default single warm pass, negatives clamp to none.
+func TestWarmPassesExplicitValues(t *testing.T) {
+	if got := (Config{}).withDefaults().WarmPasses; got != 1 {
+		t.Errorf("zero WarmPasses -> %d, want 1", got)
+	}
+	if got := (Config{WarmPasses: 3}).withDefaults().WarmPasses; got != 3 {
+		t.Errorf("WarmPasses 3 -> %d", got)
+	}
+	if got := (Config{NoWarm: true}).withDefaults().WarmPasses; got != 0 {
+		t.Errorf("NoWarm -> %d warm passes, want 0", got)
+	}
+	if got := (Config{NoWarm: true, WarmPasses: 5}).withDefaults().WarmPasses; got != 0 {
+		t.Errorf("NoWarm with WarmPasses 5 -> %d, want 0", got)
+	}
+	if got := (Config{WarmPasses: -1}).withDefaults().WarmPasses; got != 0 {
+		t.Errorf("WarmPasses -1 -> %d, want 0", got)
+	}
+}

@@ -1,0 +1,81 @@
+package simulate
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cachepirate/internal/analysis"
+	"cachepirate/internal/cache"
+	"cachepirate/internal/stackdist"
+	"cachepirate/internal/trace"
+)
+
+// MattsonLRUCurve is the exact single-pass fast path for LRU ByWays
+// sweeps of the L3 in isolation: one replay of tr's line stream
+// through per-set recency stacks (stackdist.SetAssocLRU) yields, by
+// stack inclusion, the exact hit/miss curve of every way count at
+// once — the same L3 demand behaviour the fused engine's replicas
+// compute by brute force, without the per-replica state.
+//
+// Scope: the stream feeds the L3 directly — no private L1/L2
+// filtering, no prefetcher, no timing — so the curve carries miss and
+// fetch ratios only (CPI and bandwidth stay zero). A full-machine
+// curve cannot take this shortcut even for LRU: each replica's L3
+// back-invalidates different victims into its private levels, so the
+// L3 demand streams themselves diverge across sizes; that is exactly
+// what the fused replicas exist to track. The stackdist tests pin this
+// function's histogram hit-for-hit against the cache.Replicas kernel.
+//
+// The machine config supplies the L3 geometry (sets, line size); the
+// policy must be LRU — stack inclusion does not hold for the nehalem,
+// plru or random policies.
+func MattsonLRUCurve(cfg Config, tr *trace.Trace) (*analysis.Curve, error) {
+	cfg = cfg.withDefaults()
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("simulate: empty trace")
+	}
+	if cfg.Machine.L3.Policy != cache.LRU {
+		return nil, fmt.Errorf("simulate: Mattson fast path requires the LRU policy (stack inclusion), have %v", cfg.Machine.L3.Policy)
+	}
+	if cfg.Mode != ByWays {
+		return nil, fmt.Errorf("simulate: Mattson fast path requires the ByWays sweep mode")
+	}
+	maxWays := 0
+	ways := make([]int, len(cfg.Sizes))
+	for i, size := range cfg.Sizes {
+		mcfg, err := shrink(cfg.Machine, cfg.Mode, size)
+		if err != nil {
+			return nil, err
+		}
+		if err := mcfg.Validate(); err != nil {
+			return nil, fmt.Errorf("simulate: size %d: %w", size, err)
+		}
+		ways[i] = mcfg.L3.Ways
+		if ways[i] > maxWays {
+			maxWays = ways[i]
+		}
+	}
+	sets := int(cfg.Machine.L3.Sets())
+	lineShift := uint(bits.TrailingZeros64(uint64(cfg.Machine.L3.LineSize)))
+	h, err := stackdist.SetAssocLRU(tr, sets, maxWays, lineShift)
+	if err != nil {
+		return nil, err
+	}
+	curve := &analysis.Curve{Name: "mattson"}
+	for i, size := range cfg.Sizes {
+		mr, err := h.MissRatio(ways[i])
+		if err != nil {
+			return nil, err
+		}
+		curve.Points = append(curve.Points, analysis.Point{
+			CacheBytes: size,
+			// No prefetcher in the bare-L3 model: fetches equal misses.
+			FetchRatio: mr,
+			MissRatio:  mr,
+			Trusted:    true,
+			Samples:    1,
+		})
+	}
+	curve.Sort()
+	return curve, nil
+}

@@ -36,6 +36,35 @@ const (
 	BySets
 )
 
+// Engine selects how Sweep advances the sizes of a sweep.
+type Engine int
+
+const (
+	// EngineAuto picks the fused single-replay engine for ByWays
+	// sweeps and the per-size path for BySets (whose sizes disagree on
+	// set count, so they cannot share one decoded stream).
+	EngineAuto Engine = iota
+	// EngineFused forces the fused engine (ByWays only).
+	EngineFused
+	// EnginePerSize forces one full machine replay per size — the
+	// historical path, kept as the oracle the fused engine is checked
+	// against (conformance.CheckSweepEquivalence).
+	EnginePerSize
+)
+
+// String returns the engine name.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineFused:
+		return "fused"
+	case EnginePerSize:
+		return "persize"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
 // Config parameterises a reference sweep.
 type Config struct {
 	// Machine is the template system; its L3 geometry is rescaled per
@@ -45,12 +74,21 @@ type Config struct {
 	Sizes []int64
 	// Mode selects ways- or sets-based shrinking (default ByWays).
 	Mode SweepMode
+	// Engine selects the sweep engine (default EngineAuto). Every
+	// engine produces bit-identical curves; the choice only trades
+	// speed.
+	Engine Engine
 	// MLP is the timing hint for the replayed trace (traces carry
 	// none; it does not affect fetch ratios, only CPI).
 	MLP float64
 	// WarmPasses is how many full trace replays warm the cache before
-	// the measured replay (default 1).
+	// the measured replay (default 1). The zero value means the
+	// default; request a genuinely cold measurement with NoWarm.
 	WarmPasses int
+	// NoWarm measures the first replay with no warm-up pass. (A plain
+	// WarmPasses: 0 cannot express this: zero is the "use the default"
+	// value, so it is promoted to 1.)
+	NoWarm bool
 	// Workers bounds how many sizes are simulated concurrently. Each
 	// size gets its own fresh machine and trace replayer, so results
 	// are bit-identical at any width; <= 0 means one worker per CPU, 1
@@ -72,7 +110,9 @@ func (c Config) withDefaults() Config {
 	if c.MLP == 0 {
 		c.MLP = 2
 	}
-	if c.WarmPasses == 0 {
+	if c.NoWarm || c.WarmPasses < 0 {
+		c.WarmPasses = 0
+	} else if c.WarmPasses == 0 {
 		c.WarmPasses = 1
 	}
 	return c
@@ -93,17 +133,23 @@ func shrink(mcfg machine.Config, mode SweepMode, size int64) (machine.Config, er
 	return mcfg, fmt.Errorf("simulate: unknown sweep mode %d", mode)
 }
 
-// Sweep replays tr once per size and returns the reference curve. Each
-// size gets a fresh single-core machine: WarmPasses replays warm the
-// hierarchy, then one replay is measured through the counters. Sizes
-// are simulated concurrently across cfg.Workers (the trace is shared
-// read-only; every other piece of simulator state is per-size), with
-// results collected in size order, so the curve is identical at any
-// worker count.
+// Sweep simulates tr at every configured size and returns the
+// reference curve: per size, WarmPasses replays warm the hierarchy,
+// then one replay is measured through the counters. ByWays sweeps
+// default to the fused engine — one trace replay advancing every size
+// simultaneously (see fused.go) — and BySets sweeps to one fresh
+// machine per size; both engines produce bit-identical curves at any
+// worker count, with points collected in size order.
 func Sweep(cfg Config, tr *trace.Trace) (*analysis.Curve, error) {
 	cfg = cfg.withDefaults()
 	if tr.Len() == 0 {
 		return nil, fmt.Errorf("simulate: empty trace")
+	}
+	if cfg.Engine == EngineFused && cfg.Mode != ByWays {
+		return nil, fmt.Errorf("simulate: fused engine requires the ByWays sweep mode")
+	}
+	if cfg.Engine == EngineFused || (cfg.Engine == EngineAuto && cfg.Mode == ByWays) {
+		return sweepFused(cfg, tr)
 	}
 	passInstrs := tr.Instructions()
 	points, err := runner.Map(context.Background(), runner.Pool{Workers: cfg.Workers}, len(cfg.Sizes),

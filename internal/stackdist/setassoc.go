@@ -1,0 +1,113 @@
+package stackdist
+
+import (
+	"fmt"
+
+	"cachepirate/internal/trace"
+)
+
+// SetAssocHistogram is the per-set LRU stack-depth distribution of a
+// line stream over a fixed set geometry: Depths[d] counts accesses
+// whose line sat at recency depth d (0 = most recent) of its set's LRU
+// stack when touched. By Mattson stack inclusion, a W-way LRU cache
+// with the same sets holds exactly the top W entries of every per-set
+// stack, so the histogram is the exact hit/miss behaviour of *every*
+// way count up to MaxWays at once: an access hits a W-way cache iff
+// its depth is < W.
+type SetAssocHistogram struct {
+	Sets    int
+	MaxWays int
+	// Depths[d] counts accesses found at per-set stack depth d.
+	Depths []uint64
+	// Absent counts accesses whose line was not in the top MaxWays of
+	// its set's stack — first touches and reuses beyond the deepest
+	// tracked cache, misses at every tracked way count alike.
+	Absent uint64
+	// Total is the number of accesses analysed.
+	Total uint64
+}
+
+// SetAssocLRU replays tr's line stream once through per-set LRU
+// recency stacks of depth maxWays and returns the depth histogram.
+// This is the Mattson fast path the fused sweep's LRU cross-check
+// rests on: one pass yields the exact curve for every associativity
+// 1..maxWays, and TestSetAssocLRUMatchesReplicas pins it hit-for-hit
+// against the cache.Replicas kernel the fused engine runs.
+//
+// The set mapping mirrors cache.Cache exactly: the line tag is
+// addr >> lineShift, and the set index is a mask for power-of-two set
+// counts, a modulo otherwise.
+func SetAssocLRU(tr *trace.Trace, sets, maxWays int, lineShift uint) (*SetAssocHistogram, error) {
+	if sets <= 0 {
+		return nil, fmt.Errorf("stackdist: non-positive set count %d", sets)
+	}
+	if maxWays <= 0 {
+		return nil, fmt.Errorf("stackdist: non-positive way count %d", maxWays)
+	}
+	h := &SetAssocHistogram{
+		Sets:    sets,
+		MaxWays: maxWays,
+		Depths:  make([]uint64, maxWays),
+	}
+	pow2 := sets&(sets-1) == 0
+	mask := uint64(sets - 1)
+	// One contiguous backing block, stacks[set*maxWays : ...], most
+	// recent first; depth[set] tracks how much of each stack is live.
+	stacks := make([]uint64, sets*maxWays)
+	depth := make([]int, sets)
+	for _, r := range tr.Records {
+		tag := r.Addr >> lineShift
+		si := tag % uint64(sets)
+		if pow2 {
+			si = tag & mask
+		}
+		st := stacks[int(si)*maxWays : int(si)*maxWays+maxWays]
+		n := depth[si]
+		h.Total++
+		found := -1
+		for d := 0; d < n; d++ {
+			if st[d] == tag {
+				found = d
+				break
+			}
+		}
+		if found >= 0 {
+			h.Depths[found]++
+			copy(st[1:found+1], st[:found])
+		} else {
+			h.Absent++
+			if n < maxWays {
+				depth[si] = n + 1
+				n++
+			}
+			copy(st[1:n], st[:n-1])
+		}
+		st[0] = tag
+	}
+	return h, nil
+}
+
+// Hits returns the exact demand-hit count of a ways-way, Sets-set LRU
+// cache over the analysed stream (stack inclusion: depth < ways hits).
+func (h *SetAssocHistogram) Hits(ways int) (uint64, error) {
+	if ways <= 0 || ways > h.MaxWays {
+		return 0, fmt.Errorf("stackdist: way count %d outside tracked range 1..%d", ways, h.MaxWays)
+	}
+	var hits uint64
+	for d := 0; d < ways; d++ {
+		hits += h.Depths[d]
+	}
+	return hits, nil
+}
+
+// MissRatio returns the exact miss ratio of a ways-way cache.
+func (h *SetAssocHistogram) MissRatio(ways int) (float64, error) {
+	hits, err := h.Hits(ways)
+	if err != nil {
+		return 0, err
+	}
+	if h.Total == 0 {
+		return 0, nil
+	}
+	return 1 - float64(hits)/float64(h.Total), nil
+}

@@ -1,0 +1,152 @@
+package stackdist
+
+import (
+	"testing"
+
+	"cachepirate/internal/cache"
+	"cachepirate/internal/trace"
+	"cachepirate/internal/workload"
+)
+
+// captureLines records n line-granular accesses from a generator.
+func captureLines(gen workload.Generator, n int) *trace.Trace {
+	tr := &trace.Trace{Records: make([]trace.Record, 0, n)}
+	for i := 0; i < n; i++ {
+		op := gen.Next()
+		tr.Records = append(tr.Records, trace.Record{Addr: op.Addr, NInstr: 1, Write: op.Write})
+	}
+	return tr
+}
+
+func randTrace(span int64, seed uint64, n int) *trace.Trace {
+	return captureLines(workload.NewRandomAccess(workload.RandomConfig{
+		Name: "r", Span: span, NInstr: 1, WriteFrac: 0.25, Seed: seed}), n)
+}
+
+// TestSetAssocLRUMatchesReplicas is the Mattson cross-check the fused
+// sweep's LRU fast path rests on: the one-pass per-set stack analysis
+// must reproduce, hit for hit, the demand hits of the cache.Replicas
+// kernel (the fused engine's L3 state) at every way count — bit-for-bit,
+// not approximately. Stack inclusion makes this exact for true-LRU.
+func TestSetAssocLRUMatchesReplicas(t *testing.T) {
+	const (
+		sets    = 64
+		maxWays = 16
+		line    = int64(64)
+	)
+	for _, n := range []int{500, 20000} {
+		tr := randTrace(96<<10, uint64(n), n)
+		h, err := SetAssocLRU(tr, sets, maxWays, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs := make([]cache.Config, maxWays)
+		for w := 1; w <= maxWays; w++ {
+			cfgs[w-1] = cache.Config{
+				Name: "L3", Size: int64(sets) * int64(w) * line, Ways: w,
+				LineSize: line, Policy: cache.LRU, Owners: 1,
+			}
+		}
+		reps, err := cache.NewReplicas(cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tr.Records {
+			for k := 0; k < reps.Len(); k++ {
+				reps.Rep(k).AccessFill(cache.Addr(r.Addr), r.Write, 0)
+			}
+		}
+		for w := 1; w <= maxWays; w++ {
+			want := reps.Rep(w - 1).Stats(0)
+			hits, err := h.Hits(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hits != want.Hits {
+				t.Errorf("n=%d ways=%d: stack model %d hits, replica kernel %d", n, w, hits, want.Hits)
+			}
+			if misses := h.Total - hits; misses != want.Misses {
+				t.Errorf("n=%d ways=%d: stack model %d misses, replica kernel %d", n, w, misses, want.Misses)
+			}
+		}
+	}
+}
+
+// TestSetAssocLRUSequentialThrash pins the classic cyclic-scan
+// behaviour: a loop over more lines than the cache holds misses every
+// time under LRU at every way count, while a loop that fits hits after
+// the first pass.
+func TestSetAssocLRUSequentialThrash(t *testing.T) {
+	const sets, ways = 8, 4
+	gen := workload.NewSequential(workload.SequentialConfig{Name: "s", Span: 2 * sets * ways * 64, Elem: 64})
+	tr := captureLines(gen, 3*2*sets*ways)
+	h, err := SetAssocLRU(tr, sets, ways, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := h.Hits(ways); hits != 0 {
+		t.Errorf("over-capacity cyclic scan should thrash LRU, got %d hits", hits)
+	}
+
+	fits := workload.NewSequential(workload.SequentialConfig{Name: "s", Span: sets * ways * 64, Elem: 64})
+	trFits := captureLines(fits, 3*sets*ways)
+	h2, err := SetAssocLRU(trFits, sets, ways, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := h2.Hits(ways); hits != uint64(2*sets*ways) {
+		t.Errorf("resident scan should hit every non-cold access, got %d of %d", hits, 2*sets*ways)
+	}
+}
+
+// TestSetAssocLRUMonotone: hits can only grow with associativity
+// (stack inclusion), and the histogram accounts for every access.
+func TestSetAssocLRUMonotone(t *testing.T) {
+	tr := randTrace(64<<10, 9, 8000)
+	h, err := SetAssocLRU(tr, 64, 16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	prev := uint64(0)
+	for w := 1; w <= h.MaxWays; w++ {
+		hits, err := h.Hits(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hits < prev {
+			t.Errorf("hits not monotone at %d ways: %d < %d", w, hits, prev)
+		}
+		prev = hits
+	}
+	for _, d := range h.Depths {
+		sum += d
+	}
+	if sum+h.Absent != h.Total {
+		t.Errorf("histogram mass %d + absent %d != total %d", sum, h.Absent, h.Total)
+	}
+	if mr, err := h.MissRatio(16); err != nil || mr < 0 || mr > 1 {
+		t.Errorf("miss ratio %g err %v", mr, err)
+	}
+	if _, err := h.Hits(0); err == nil {
+		t.Error("ways 0 accepted")
+	}
+	if _, err := h.Hits(17); err == nil {
+		t.Error("ways beyond MaxWays accepted")
+	}
+}
+
+// TestSetAssocLRUValidation pins the error shapes.
+func TestSetAssocLRUValidation(t *testing.T) {
+	tr := randTrace(1<<10, 1, 10)
+	if _, err := SetAssocLRU(tr, 0, 4, 6); err == nil {
+		t.Error("zero sets accepted")
+	}
+	if _, err := SetAssocLRU(tr, 8, 0, 6); err == nil {
+		t.Error("zero ways accepted")
+	}
+	// Non-power-of-two set counts use the modulo mapping.
+	if _, err := SetAssocLRU(tr, 12, 4, 6); err != nil {
+		t.Errorf("non-pow2 sets rejected: %v", err)
+	}
+}
