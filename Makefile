@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-quick bench-kernel bench-sweep vet fmt experiments examples cover fuzz staticcheck lint
+.PHONY: build test test-short bench bench-quick bench-kernel bench-sweep bench-trace vet fmt experiments examples cover fuzz staticcheck lint
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,14 @@ bench-kernel:
 bench-sweep:
 	$(GO) test -run XXX -bench 'BenchmarkSweepFused|BenchmarkSweepPerSize' \
 		-benchtime 4x -count 2 -benchmem ./internal/simulate/
+
+# Streaming trace pipeline: v2 frame decode (sync, prefetch, sparse
+# corpus), the v1 baseline, whole-trace decode and the encoder.
+# Numbers are recorded in BENCH_trace.json; the v2 streaming decode
+# must hold >= 100M records/sec on the workload-shaped corpus.
+bench-trace:
+	$(GO) test -run XXX -bench 'DecodeV2|DecodeV1|EncodeV2' \
+		-benchtime 2s -count 3 -benchmem ./internal/trace/
 
 # Print every paper table/figure plus extensions and ablations.
 experiments:

@@ -7,7 +7,7 @@
 //
 //	cachesim [-records N] [-skip N] [-policy nehalem|lru|plru|random]
 //	         [-mode ways|sets] [-engine auto|fused|persize] [-nowarm]
-//	         [-seed N] [-save FILE] [-load FILE] [-csv]
+//	         [-seed N] [-save FILE] [-load FILE] [-stream] [-csv]
 //	         [-j N] [-cpuprofile FILE] <benchmark>
 //
 // ByWays sweeps default to the fused engine (one trace replay for all
@@ -15,6 +15,12 @@
 // path — the curves are bit-identical either way. The per-size
 // simulations fan out across -j workers (default: one per CPU); the
 // curve is identical at any width.
+//
+// -stream replays a -load file out of core: blocks are decoded (and
+// prefetched on a background pipeline) as the sweep consumes them, in
+// O(block) memory, so the trace can be far larger than RAM. The curve
+// is bit-identical to the in-memory path (pinned by
+// internal/conformance and the CI CSV diff).
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"cachepirate/internal/analysis"
 	"cachepirate/internal/cache"
 	"cachepirate/internal/machine"
 	"cachepirate/internal/report"
@@ -40,6 +47,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	save := flag.String("save", "", "write the captured trace to this file")
 	load := flag.String("load", "", "replay a trace file instead of capturing")
+	stream := flag.Bool("stream", false, "replay -load out of core: streamed decode in O(block) memory, never materialising the trace")
 	engine := flag.String("engine", "auto", "sweep engine: auto, fused (one replay, ByWays only), persize")
 	noWarm := flag.Bool("nowarm", false, "measure the first replay cold (no warm-up pass)")
 	csv := flag.Bool("csv", false, "emit CSV")
@@ -100,9 +108,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *stream {
+		if *load == "" {
+			fmt.Fprintln(os.Stderr, "-stream requires -load FILE")
+			os.Exit(2)
+		}
+		if *stack || *mattson || *save != "" {
+			fmt.Fprintln(os.Stderr, "-stream is incompatible with -stack, -mattson and -save (they need the trace in memory)")
+			os.Exit(2)
+		}
+	}
+
 	var tr *trace.Trace
 	name := *load
-	if *load != "" {
+	if *stream {
+		// Out of core: the sweep opens one Reader per consumer below;
+		// the trace is never materialised here.
+	} else if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -143,7 +165,15 @@ func main() {
 
 	mcfg := machine.WithL3Policy(machine.NehalemConfigNoPrefetch(), pol)
 	simCfg := simulate.Config{Machine: mcfg, Mode: swMode, Engine: eng, NoWarm: *noWarm, Workers: *workers}
-	curve, err := simulate.Sweep(simCfg, tr)
+	var curve *analysis.Curve
+	var err error
+	if *stream {
+		curve, err = simulate.SweepStream(simCfg, func() (trace.BlockSource, error) {
+			return trace.OpenFile(*load, trace.ReaderOptions{Prefetch: 2})
+		})
+	} else {
+		curve, err = simulate.Sweep(simCfg, tr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -10,6 +10,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"log"
 	"os"
@@ -79,4 +80,27 @@ func main() {
 	writeSeed(tdir, "seed-header-only", []byte("CPTR1\n"))
 	writeSeed(tdir, "seed-overlong-varint", []byte("CPTR1\n\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
 	writeSeed(tdir, "seed-truncated", buf.Bytes()[:buf.Len()-2])
+	writeSeed(tdir, "seed-v1-trailing", append(append([]byte(nil), buf.Bytes()...), 0xCC))
+
+	// v2 seeds: a valid framed stream plus each rejection path —
+	// truncated mid-frame, corrupted payload (checksum), header totals
+	// disagreeing with the frames, trailing garbage past the
+	// terminator, and a bare header. Mirrors fuzzSeedsV2 in
+	// internal/trace/fuzz_test.go.
+	var buf2 bytes.Buffer
+	if err := tr.WriteV2Frames(&buf2, 2); err != nil {
+		log.Fatal(err)
+	}
+	v2 := buf2.Bytes()
+	writeSeed(tdir, "seed-v2-valid", v2)
+	writeSeed(tdir, "seed-v2-frame-truncated", v2[:len(v2)-3])
+	corrupt := append([]byte(nil), v2...)
+	corrupt[len(corrupt)-2] ^= 0x40
+	writeSeed(tdir, "seed-v2-corrupt-checksum", corrupt)
+	mismatch := append([]byte(nil), v2...)
+	n := binary.LittleEndian.Uint64(mismatch[6:14])
+	binary.LittleEndian.PutUint64(mismatch[6:14], n+1)
+	writeSeed(tdir, "seed-v2-count-mismatch", mismatch)
+	writeSeed(tdir, "seed-v2-trailing", append(append([]byte(nil), v2...), 0xCC))
+	writeSeed(tdir, "seed-v2-header-only", []byte("CPTR2\n"))
 }

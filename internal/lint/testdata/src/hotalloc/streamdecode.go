@@ -1,0 +1,75 @@
+package hotalloc
+
+// This file exercises the streaming-decoder pattern the out-of-core
+// trace reader uses: a hot decode loop filling caller-owned block
+// buffers that are passed by pointer and reused across frames. The
+// clean shape grows a buffer only behind the documented suppression;
+// the violations are the per-block allocations that pattern exists to
+// avoid.
+
+type record struct{ addr uint64 }
+
+// block is a reused decode buffer, rotated through a pool by pointer
+// so steady-state decode touches no allocator.
+type block struct {
+	payload []byte
+	recs    []record
+	n       int
+}
+
+// decodeBlock is the clean shape: write into the reused buffer,
+// growing it at most once per stream under the documented suppression.
+//
+//lint:hotpath
+func decodeBlock(b *block, count int) {
+	if cap(b.recs) < count {
+		//lint:ignore hotalloc block buffers grow to the stream's frame size once and are reused for every later frame
+		b.recs = make([]record, count)
+	}
+	recs := b.recs[:count]
+	for i := range recs {
+		recs[i] = record{addr: uint64(i)}
+	}
+	b.n = count
+}
+
+// decodeBlockFresh allocates a fresh slice per block — the violation
+// the reused-buffer shape exists to avoid.
+//
+//lint:hotpath
+func decodeBlockFresh(count int) []record {
+	out := make([]record, count) // want "make allocates"
+	for i := range out {
+		out[i] = record{addr: uint64(i)}
+	}
+	return out
+}
+
+// decodeBlockAppend grows by append inside the record loop: amortized
+// O(1), but still an allocating construct on the hot path.
+//
+//lint:hotpath
+func decodeBlockAppend(b *block, count int) {
+	b.recs = b.recs[:0]
+	for i := 0; i < count; i++ {
+		b.recs = append(b.recs, record{addr: uint64(i)}) // want "append may grow and allocate"
+	}
+	b.n = count
+}
+
+// refill rotates the reused buffers; it is reached from the hot root
+// nextBlock below, so the analyzer checks it too — and it is clean.
+func refill(bufs []*block, cur int) *block {
+	b := bufs[cur]
+	decodeBlock(b, cap(b.recs))
+	return b
+}
+
+// nextBlock is the NextBlock-style hot root: pull a reused buffer,
+// decode into it, hand back a view. No allocation anywhere it reaches.
+//
+//lint:hotpath
+func nextBlock(bufs []*block, cur int) []record {
+	b := refill(bufs, cur)
+	return b.recs[:b.n]
+}

@@ -23,6 +23,7 @@ import (
 	"cachepirate/internal/cpu"
 	"cachepirate/internal/mem"
 	"cachepirate/internal/prefetch"
+	"cachepirate/internal/trace"
 	"cachepirate/internal/workload"
 )
 
@@ -187,6 +188,16 @@ func (m *Machine) Attach(core int, gen workload.Generator) error {
 	m.procs[core] = &proc{gen: gen, mlp: mlp, offset: uint64(core) << 44}
 	m.cores[core].Resume(m.now)
 	return nil
+}
+
+// AttachBlocks binds a streamed trace to core: the block-source
+// counterpart of attaching a workload.FromTrace generator. The core
+// replays the source as a looping op stream; because FromBlocks
+// preserves record order exactly, the simulation is bit-identical to
+// attaching the same trace from memory (pinned in
+// internal/conformance).
+func (m *Machine) AttachBlocks(core int, name string, src trace.BlockSource, mlp float64) error {
+	return m.Attach(core, workload.NewFromBlocks(name, src, mlp, 0))
 }
 
 // MustAttach is Attach but panics on error.

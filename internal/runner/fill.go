@@ -1,0 +1,112 @@
+package runner
+
+// Fill is a single-producer prefetch pipeline: one background
+// goroutine repeatedly fills buffers from a fixed pool and hands them
+// to the consumer in order, so the fill work (e.g. decoding the next
+// trace frame from disk) overlaps the consumer's work on the current
+// buffer. The consumer calls Next to receive the next filled buffer —
+// the previously returned buffer is recycled automatically — and Stop
+// to tear the pipeline down.
+//
+// The channel capacities equal the pool size, so the producer's sends
+// can never block once a buffer is in hand: the pipeline cannot
+// deadlock regardless of consumer pacing.
+//
+// Fill lives in runner (not in the data packages) for the same reason
+// Map does: it is the one sanctioned home for goroutines, so the
+// deterministic simulation packages stay free of scheduling.
+type Fill[B any] struct {
+	out  chan fillResult[B]
+	back chan B
+	stop chan struct{}
+	done chan struct{}
+
+	prev     B
+	havePrev bool
+	finished error // sticky: set once the producer's final result is consumed
+}
+
+type fillResult[B any] struct {
+	buf B
+	err error
+}
+
+// StartFill launches the pipeline over the given buffer pool. fill is
+// called in the background goroutine to fill one buffer; it returns
+// io.EOF when the stream is exhausted (the buffer's contents are then
+// ignored) and any other error aborts the pipeline. fill is never
+// called concurrently with itself.
+func StartFill[B any](bufs []B, fill func(B) error) *Fill[B] {
+	if len(bufs) < 1 {
+		panic("runner: StartFill needs at least one buffer")
+	}
+	f := &Fill[B]{
+		out:  make(chan fillResult[B], len(bufs)),
+		back: make(chan B, len(bufs)),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	for _, b := range bufs {
+		f.back <- b
+	}
+	go f.run(fill)
+	return f
+}
+
+func (f *Fill[B]) run(fill func(B) error) {
+	defer close(f.done)
+	for {
+		var buf B
+		select {
+		case <-f.stop:
+			return
+		case buf = <-f.back:
+		}
+		err := fill(buf)
+		// Capacity == pool size, so this send never blocks; the stop
+		// check above is the only cancellation point needed.
+		f.out <- fillResult[B]{buf: buf, err: err}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Next returns the next filled buffer. The buffer returned by the
+// previous Next call is recycled into the pool — the consumer must be
+// done with it. At end of stream Next returns (zero, io.EOF); any
+// fill error is likewise returned and sticky.
+func (f *Fill[B]) Next() (B, error) {
+	var zero B
+	if f.finished != nil {
+		return zero, f.finished
+	}
+	if f.havePrev {
+		f.back <- f.prev
+		f.havePrev = false
+	}
+	res := <-f.out
+	if res.err != nil {
+		// The producer has exited; no further results will arrive.
+		f.finished = res.err
+		return zero, res.err
+	}
+	f.prev = res.buf
+	f.havePrev = true
+	return res.buf, nil
+}
+
+// Stop tears the pipeline down and waits for the producer goroutine
+// to exit, so every pool buffer is safe to reuse (including by a new
+// StartFill) once Stop returns.
+func (f *Fill[B]) Stop() {
+	select {
+	case <-f.stop:
+	default:
+		close(f.stop)
+	}
+	// Unblock a producer parked on an empty pool? Not needed: sends
+	// never block (capacity == pool size) and the pool receive selects
+	// on stop. Just wait for the exit.
+	<-f.done
+}

@@ -60,11 +60,10 @@ type repClock struct {
 	memWrite uint64  // cumulative DRAM write bytes
 }
 
-// fusedEngine advances one hierarchy replica per size through the
-// shared trace.
+// fusedEngine advances one hierarchy replica per size through a
+// shared trace stream.
 type fusedEngine struct {
-	fh   *cache.FusedHierarchy
-	recs []trace.Record
+	fh *cache.FusedHierarchy
 
 	params      cpu.Params
 	mlp         float64
@@ -90,7 +89,7 @@ type fusedEngine struct {
 	base []counters.Sample
 }
 
-func newFusedEngine(cfg Config, tr *trace.Trace, ways []int) (*fusedEngine, error) {
+func newFusedEngine(cfg Config, ways []int) (*fusedEngine, error) {
 	fh, err := cache.NewFusedHierarchy(cache.HierarchyConfig{
 		Cores:         1,
 		L1:            cfg.Machine.L1,
@@ -107,7 +106,6 @@ func newFusedEngine(cfg Config, tr *trace.Trace, ways []int) (*fusedEngine, erro
 	}
 	return &fusedEngine{
 		fh:          fh,
-		recs:        tr.Records,
 		params:      cfg.Machine.CPU,
 		mlp:         mlp,
 		lineSize:    cfg.Machine.L3.LineSize,
@@ -123,28 +121,53 @@ func newFusedEngine(cfg Config, tr *trace.Trace, ways []int) (*fusedEngine, erro
 	}, nil
 }
 
-// run replays warm+1 trace passes through every replica, capturing the
-// per-replica counter baselines between the last warm pass and the
-// measured one — exactly where the per-size path calls PMU.MarkAll.
-func (e *fusedEngine) run() {
+// run replays warm+1 passes of src through every replica, capturing
+// the per-replica counter baselines between the last warm pass and
+// the measured one — exactly where the per-size path calls
+// PMU.MarkAll. Source blocks of any size are re-chunked to fusedBlock
+// internally; block boundaries cannot affect results (replicas never
+// interact and each sees the same record order regardless of
+// chunking), so a streamed source is bit-identical to an in-memory
+// replayer.
+func (e *fusedEngine) run(src trace.BlockSource) error {
+	var total int64
 	for pass := 0; pass <= e.warm; pass++ {
+		if err := src.Rewind(); err != nil {
+			return err
+		}
 		if pass == e.warm {
 			for k := range e.base {
 				e.base[k] = e.sample(k)
 			}
 		}
-		n := len(e.recs)
-		for lo := 0; lo < n; lo += fusedBlock {
-			hi := lo + fusedBlock
-			if hi > n {
-				hi = n
+		for {
+			blk, err := src.NextBlock()
+			if err != nil {
+				return err
 			}
-			blk := e.recs[lo:hi]
-			for k := range e.clk {
-				e.replayBlock(blk, k)
+			n := len(blk)
+			if n == 0 {
+				break
+			}
+			if pass == 0 {
+				total += int64(n)
+			}
+			for lo := 0; lo < n; lo += fusedBlock {
+				hi := lo + fusedBlock
+				if hi > n {
+					hi = n
+				}
+				sub := blk[lo:hi]
+				for k := range e.clk {
+					e.replayBlock(sub, k)
+				}
 			}
 		}
 	}
+	if total == 0 {
+		return fmt.Errorf("simulate: empty trace")
+	}
+	return nil
 }
 
 // replayBlock advances replica k through one block of records. This is
@@ -275,12 +298,13 @@ func (e *fusedEngine) sample(k int) counters.Sample {
 	}
 }
 
-// sweepFused is the fused-engine Sweep body: validate every size up
-// front with the per-size path's error shapes, partition the sizes
-// into one contiguous chunk per worker, and run each chunk's replicas
-// through one shared-trace replay. Replicas never interact, so the
+// sweepFusedStream is the fused-engine SweepStream body: validate
+// every size up front with the per-size path's error shapes,
+// partition the sizes into one contiguous chunk per worker, and run
+// each chunk's replicas through one shared replay of its own
+// independently opened source. Replicas never interact, so the
 // partition width cannot change any point.
-func sweepFused(cfg Config, tr *trace.Trace) (*analysis.Curve, error) {
+func sweepFusedStream(cfg Config, open func() (trace.BlockSource, error)) (*analysis.Curve, error) {
 	ways := make([]int, len(cfg.Sizes))
 	for i, size := range cfg.Sizes {
 		mcfg, err := shrink(cfg.Machine, cfg.Mode, size)
@@ -298,7 +322,7 @@ func sweepFused(cfg Config, tr *trace.Trace) (*analysis.Curve, error) {
 		func(_ context.Context, c int) ([]analysis.Point, error) {
 			lo := c * len(cfg.Sizes) / chunks
 			hi := (c + 1) * len(cfg.Sizes) / chunks
-			return fusedPoints(cfg, tr, cfg.Sizes[lo:hi], ways[lo:hi])
+			return fusedPoints(cfg, open, cfg.Sizes[lo:hi], ways[lo:hi])
 		})
 	if err != nil {
 		return nil, err
@@ -313,13 +337,20 @@ func sweepFused(cfg Config, tr *trace.Trace) (*analysis.Curve, error) {
 }
 
 // fusedPoints simulates one chunk of sizes through one fused replay
-// and assembles their curve points.
-func fusedPoints(cfg Config, tr *trace.Trace, sizes []int64, ways []int) ([]analysis.Point, error) {
-	e, err := newFusedEngine(cfg, tr, ways)
+// of its own source and assembles their curve points.
+func fusedPoints(cfg Config, open func() (trace.BlockSource, error), sizes []int64, ways []int) (pts []analysis.Point, err error) {
+	e, err := newFusedEngine(cfg, ways)
 	if err != nil {
 		return nil, err
 	}
-	e.run()
+	src, err := open()
+	if err != nil {
+		return nil, err
+	}
+	defer closeSource(src, &err)
+	if err := e.run(src); err != nil {
+		return nil, err
+	}
 	points := make([]analysis.Point, len(sizes))
 	for k, size := range sizes {
 		s := e.sample(k).Sub(e.base[k])

@@ -76,11 +76,11 @@ func TestFusedInnerLoopAllocFree(t *testing.T) {
 		}
 		ways[i] = mcfg.L3.Ways
 	}
-	e, err := newFusedEngine(cfg, tr, ways)
+	e, err := newFusedEngine(cfg, ways)
 	if err != nil {
 		t.Fatal(err)
 	}
-	blk := e.recs[:fusedBlock]
+	blk := tr.Records[:fusedBlock]
 	// Warm every replica once so steady-state fills are exercised too.
 	for k := range e.clk {
 		e.replayBlock(blk, k)

@@ -14,6 +14,7 @@ package simulate
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"cachepirate/internal/analysis"
 	"cachepirate/internal/counters"
@@ -141,20 +142,44 @@ func shrink(mcfg machine.Config, mode SweepMode, size int64) (machine.Config, er
 // machine per size; both engines produce bit-identical curves at any
 // worker count, with points collected in size order.
 func Sweep(cfg Config, tr *trace.Trace) (*analysis.Curve, error) {
-	cfg = cfg.withDefaults()
 	if tr.Len() == 0 {
 		return nil, fmt.Errorf("simulate: empty trace")
 	}
+	return SweepStream(cfg, func() (trace.BlockSource, error) {
+		return trace.NewReplayer(tr, false), nil
+	})
+}
+
+// SweepStream is Sweep over any trace.BlockSource — the out-of-core
+// entry point, taking a factory rather than a source because every
+// concurrent consumer replays the trace independently: the per-size
+// engine opens one source per size and the fused engine one per
+// worker chunk. A file-backed sweep passes
+//
+//	func() (trace.BlockSource, error) { return trace.OpenFile(path, opts) }
+//
+// and multi-GB traces stream through in O(block) memory. Sources that
+// implement io.Closer are closed when their consumer finishes. The
+// curves are bit-identical to Sweep over the same records held in
+// memory (pinned by conformance.CheckStreamEquivalence).
+func SweepStream(cfg Config, open func() (trace.BlockSource, error)) (*analysis.Curve, error) {
+	cfg = cfg.withDefaults()
 	if cfg.Engine == EngineFused && cfg.Mode != ByWays {
 		return nil, fmt.Errorf("simulate: fused engine requires the ByWays sweep mode")
 	}
 	if cfg.Engine == EngineFused || (cfg.Engine == EngineAuto && cfg.Mode == ByWays) {
-		return sweepFused(cfg, tr)
+		return sweepFusedStream(cfg, open)
 	}
-	passInstrs := tr.Instructions()
+	records, passInstrs, err := sourceStats(open)
+	if err != nil {
+		return nil, err
+	}
+	if records == 0 {
+		return nil, fmt.Errorf("simulate: empty trace")
+	}
 	points, err := runner.Map(context.Background(), runner.Pool{Workers: cfg.Workers}, len(cfg.Sizes),
 		func(_ context.Context, i int) (analysis.Point, error) {
-			return sweepPoint(cfg, tr, cfg.Sizes[i], passInstrs)
+			return sweepPoint(cfg, open, cfg.Sizes[i], passInstrs)
 		})
 	if err != nil {
 		return nil, err
@@ -164,9 +189,51 @@ func Sweep(cfg Config, tr *trace.Trace) (*analysis.Curve, error) {
 	return curve, nil
 }
 
-// sweepPoint simulates one cache size on a fresh machine. It shares
-// only the read-only trace with concurrent sweep points.
-func sweepPoint(cfg Config, tr *trace.Trace, size int64, passInstrs uint64) (analysis.Point, error) {
+// closeSource closes src when it owns resources (trace.Reader does,
+// trace.Replayer does not), folding the close error into the caller's
+// named return so a failed close is never silently dropped.
+func closeSource(src trace.BlockSource, err *error) {
+	c, ok := src.(io.Closer)
+	if !ok {
+		return
+	}
+	if cerr := c.Close(); cerr != nil && *err == nil {
+		*err = cerr
+	}
+}
+
+// sourceStats returns a source's record and instruction totals,
+// preferring the header fast path (v2 files and in-memory replayers
+// know both) and falling back to one counting pass.
+func sourceStats(open func() (trace.BlockSource, error)) (records int64, passInstrs uint64, err error) {
+	src, err := open()
+	if err != nil {
+		return 0, 0, err
+	}
+	defer closeSource(src, &err)
+	if r, n := src.NumRecords(), src.NumInstructions(); r >= 0 && n >= 0 {
+		return r, uint64(n), nil
+	}
+	var n uint64
+	for {
+		blk, err := src.NextBlock()
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(blk) == 0 {
+			break
+		}
+		records += int64(len(blk))
+		for i := range blk {
+			n += uint64(blk[i].NInstr) + 1
+		}
+	}
+	return records, n, nil
+}
+
+// sweepPoint simulates one cache size on a fresh machine over its own
+// independently opened source; concurrent sweep points share nothing.
+func sweepPoint(cfg Config, open func() (trace.BlockSource, error), size int64, passInstrs uint64) (pt analysis.Point, err error) {
 	mcfg, err := shrink(cfg.Machine, cfg.Mode, size)
 	if err != nil {
 		return analysis.Point{}, err
@@ -175,8 +242,12 @@ func sweepPoint(cfg Config, tr *trace.Trace, size int64, passInstrs uint64) (ana
 	if err != nil {
 		return analysis.Point{}, fmt.Errorf("simulate: size %d: %w", size, err)
 	}
-	gen := workload.NewFromTrace("trace", tr, cfg.MLP, 0)
-	if err := m.Attach(0, gen); err != nil {
+	src, err := open()
+	if err != nil {
+		return analysis.Point{}, err
+	}
+	defer closeSource(src, &err)
+	if err := m.AttachBlocks(0, "trace", src, cfg.MLP); err != nil {
 		return analysis.Point{}, err
 	}
 	for w := 0; w < cfg.WarmPasses; w++ {

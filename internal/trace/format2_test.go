@@ -1,0 +1,356 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testTrace builds a deterministic mixed trace: strided lines with
+// occasional large jumps, mixed writes, varied instruction gaps.
+func testTrace(n int) *Trace {
+	rng := rand.New(rand.NewSource(42))
+	tr := &Trace{Records: make([]Record, n)}
+	for i := range tr.Records {
+		addr := uint64(rng.Intn(1<<20)) << 6
+		if rng.Intn(16) == 0 {
+			addr = uint64(rng.Int63n(1 << 40))
+		}
+		tr.Records[i] = Record{
+			NInstr: uint32(rng.Intn(200)),
+			Addr:   addr,
+			Write:  rng.Intn(4) == 0,
+		}
+	}
+	return tr
+}
+
+func recordsEqual(t *testing.T, want, got []Record) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("record count %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestV2RoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 100, DefaultFrameRecords, DefaultFrameRecords + 1, 3 * DefaultFrameRecords} {
+		tr := testTrace(n)
+		var buf bytes.Buffer
+		if err := tr.WriteV2(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		recordsEqual(t, tr.Records, got.Records)
+		if got.Instructions() != tr.Instructions() {
+			t.Errorf("n=%d: instructions %d != %d", n, got.Instructions(), tr.Instructions())
+		}
+	}
+}
+
+// TestV2FrameRoundTripProperty drives random record streams through
+// random frame sizes: frame boundaries (where the delta chain restarts
+// and the checksum chains) must never show through.
+func TestV2FrameRoundTripProperty(t *testing.T) {
+	f := func(nis []uint32, addrs []uint64, writes []bool, frameSeed uint8) bool {
+		n := len(nis)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(writes) < n {
+			n = len(writes)
+		}
+		tr := &Trace{}
+		for i := 0; i < n; i++ {
+			tr.Records = append(tr.Records, Record{
+				NInstr: nis[i] & 0x7FFFFFFF,
+				Addr:   addrs[i] & ((1 << 48) - 1),
+				Write:  writes[i],
+			})
+		}
+		frame := int(frameSeed%7) + 1 // tiny frames force many boundaries
+		var buf bytes.Buffer
+		if err := tr.WriteV2Frames(&buf, frame); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Records) != len(tr.Records) {
+			return false
+		}
+		for i := range tr.Records {
+			if got.Records[i] != tr.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestV2WriterStreamingMatchesWriteV2(t *testing.T) {
+	tr := testTrace(5000)
+	var whole, streamed bytes.Buffer
+	if err := tr.WriteV2(&whole); err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(&streamed, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr.Records {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// bytes.Buffer is not random-access, so the incremental writer's
+	// header stays unknown; past the header the streams must agree.
+	if !bytes.Equal(whole.Bytes()[headerSize2:], streamed.Bytes()[headerSize2:]) {
+		t.Error("incremental writer body differs from WriteV2")
+	}
+	got, err := Read(bytes.NewReader(streamed.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsEqual(t, tr.Records, got.Records)
+}
+
+func TestV2RejectsTruncation(t *testing.T) {
+	tr := testTrace(40)
+	var buf bytes.Buffer
+	if err := tr.WriteV2Frames(&buf, 16); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for cut := 1; cut < len(b); cut++ {
+		if _, err := Read(bytes.NewReader(b[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(b))
+		}
+	}
+}
+
+func TestV2RejectsCorruptChecksum(t *testing.T) {
+	tr := testTrace(100)
+	var buf bytes.Buffer
+	if err := tr.WriteV2Frames(&buf, 32); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Flip one payload byte in every position after the header; either
+	// a checksum mismatch or a structural decode error must result.
+	for i := headerSize2; i < len(b); i++ {
+		mut := append([]byte(nil), b...)
+		mut[i] ^= 0x40
+		if tr2, err := Read(bytes.NewReader(mut)); err == nil {
+			// A flip inside a varint's value bits can survive structure
+			// checks only if it still decodes to the same byte count and
+			// record count — but then the checksum must catch it, unless
+			// the flip was inside the checksum field of a frame... which
+			// changes the expected value and also fails. A surviving
+			// decode means the records changed silently.
+			same := len(tr2.Records) == len(tr.Records)
+			if same {
+				for j := range tr.Records {
+					if tr2.Records[j] != tr.Records[j] {
+						same = false
+						break
+					}
+				}
+			}
+			if !same {
+				t.Fatalf("byte flip at %d silently altered the decoded trace", i)
+			}
+			t.Fatalf("byte flip at %d accepted", i)
+		}
+	}
+}
+
+func TestV2RejectsCountMismatch(t *testing.T) {
+	tr := testTrace(64)
+	var buf bytes.Buffer
+	if err := tr.WriteV2Frames(&buf, 64); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// The first frame starts right after the header: uvarint count 64
+	// is one byte (0x40). Lower it: payload then holds more records
+	// than declared.
+	if b[headerSize2] != 64 {
+		t.Fatalf("test assumes single-byte frame count, got %#x", b[headerSize2])
+	}
+	mut := append([]byte(nil), b...)
+	mut[headerSize2] = 63
+	if _, err := Read(bytes.NewReader(mut)); err == nil {
+		t.Error("frame with understated record count accepted")
+	}
+}
+
+func TestV2RejectsHeaderMismatch(t *testing.T) {
+	tr := testTrace(64)
+	var buf bytes.Buffer
+	if err := tr.WriteV2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := append([]byte(nil), buf.Bytes()...)
+	binary.LittleEndian.PutUint64(b[len(magic2):], 65) // header claims 65 records
+	if _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Error("header/stream record-count mismatch accepted")
+	}
+}
+
+func TestV2RejectsTrailingBytes(t *testing.T) {
+	tr := testTrace(10)
+	var buf bytes.Buffer
+	if err := tr.WriteV2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0xAA)
+	if _, err := Read(&buf); err == nil {
+		t.Error("trailing bytes after terminator accepted")
+	}
+}
+
+func TestV2RejectsHostileFrameHeader(t *testing.T) {
+	// A frame declaring MaxFrameRecords records with a 3-byte payload
+	// must be rejected by arithmetic, not by allocating and failing.
+	var buf bytes.Buffer
+	buf.WriteString(magic2)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[:8], unknownCount)
+	binary.LittleEndian.PutUint64(hdr[8:], unknownCount)
+	buf.Write(hdr[:])
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], MaxFrameRecords)])
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], 3)])
+	buf.Write(make([]byte, 8+3))
+	if _, err := Read(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("frame count inconsistent with payload accepted")
+	}
+}
+
+func TestStat(t *testing.T) {
+	tr := testTrace(1000)
+	var v2 bytes.Buffer
+	if err := tr.WriteV2Frames(&v2, 256); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Stat(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != 2 || st.Records != 1000 || st.Frames != 4 {
+		t.Errorf("v2 stat = %+v", st)
+	}
+	if st.Instructions != int64(tr.Instructions()) {
+		t.Errorf("v2 stat instructions = %d, want %d", st.Instructions, tr.Instructions())
+	}
+	if st.BytesPerRecord() <= 0 {
+		t.Errorf("v2 bytes/record = %v", st.BytesPerRecord())
+	}
+
+	var v1 bytes.Buffer
+	if err := tr.Write(&v1); err != nil {
+		t.Fatal(err)
+	}
+	st, err = Stat(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != 1 || st.Records != 1000 || st.Instructions != int64(tr.Instructions()) {
+		t.Errorf("v1 stat = %+v", st)
+	}
+}
+
+func TestInstructionsCachedAtDecode(t *testing.T) {
+	tr := testTrace(100)
+	want := tr.Instructions()
+	for _, enc := range []func(io.Writer) error{tr.Write, tr.WriteV2} {
+		var buf bytes.Buffer
+		if err := enc(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The decode path must seed the cache; mutating Records
+		// afterwards must not change the reported total.
+		got.Records[0].NInstr += 1000
+		if got.Instructions() != want {
+			t.Errorf("Instructions not cached at decode: %d != %d", got.Instructions(), want)
+		}
+	}
+}
+
+func TestReadPreSizesFromHeader(t *testing.T) {
+	tr := testTrace(10000)
+	for name, enc := range map[string]func(io.Writer) error{"v1": tr.Write, "v2": tr.WriteV2} {
+		var buf bytes.Buffer
+		if err := enc(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// An exactly pre-sized decode never reallocates: capacity is
+		// the declared count, not an append growth curve's power of two.
+		if cap(got.Records) != len(got.Records) {
+			t.Errorf("%s: decoded capacity %d for %d records; want exact pre-size", name, cap(got.Records), len(got.Records))
+		}
+	}
+}
+
+// TestReadClampsHostileHeaderCount feeds headers declaring astronomical
+// record counts over tiny streams: the decode must fail by running out
+// of input, not by attempting the declared allocation.
+func TestReadClampsHostileHeaderCount(t *testing.T) {
+	var v1 bytes.Buffer
+	v1.WriteString(magic)
+	var tmp [binary.MaxVarintLen64]byte
+	v1.Write(tmp[:binary.PutUvarint(tmp[:], 1<<31)])
+	v1.Write([]byte{2, 2, 1}) // one record, then truncation
+	if _, err := Read(bytes.NewReader(v1.Bytes())); err == nil {
+		t.Error("v1 truncated stream with huge declared count accepted")
+	}
+
+	var v2 bytes.Buffer
+	v2.WriteString(magic2)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[:8], 1<<40)
+	binary.LittleEndian.PutUint64(hdr[8:], unknownCount)
+	v2.Write(hdr[:])
+	v2.WriteByte(0) // terminator immediately
+	if _, err := Read(bytes.NewReader(v2.Bytes())); err == nil {
+		t.Error("v2 header declaring 2^40 records over an empty stream accepted")
+	}
+}
+
+func TestFrameChecksumChains(t *testing.T) {
+	p := []byte("hello, frames")
+	a := frameChecksum(0, p)
+	b := frameChecksum(a, p)
+	if a == b {
+		t.Error("chained checksum of identical payloads did not change with seed")
+	}
+	if frameChecksum(0, nil) == frameChecksum(0, []byte{0}) {
+		t.Error("checksum ignores a zero byte")
+	}
+}

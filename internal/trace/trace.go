@@ -1,11 +1,16 @@
 // Package trace provides the address-trace substrate the paper's
-// reference methodology needs (§III-B1): a compact binary trace format,
+// reference methodology needs (§III-B1): compact binary trace formats,
 // capture from any record source with start/stop markers (standing in
-// for Pin's "attach at instruction address"), and replay.
+// for Pin's "attach at instruction address"), and replay — either
+// wholly in memory or streamed out-of-core in fixed-size record blocks
+// (see format2.go and reader.go).
 //
-// The encoding is a varint stream: per record, the instruction gap
-// since the previous record, the zig-zag delta of the line-granular
+// The v1 encoding is a flat varint stream: per record, the instruction
+// gap since the previous record, the zig-zag delta of the line-granular
 // address, and a read/write flag folded into the low bit of the gap.
+// The v2 encoding (format2.go) frames the same per-record triples into
+// checksummed blocks so multi-GB traces can be decoded block-at-a-time
+// in O(block) memory.
 package trace
 
 import (
@@ -14,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 )
 
 // Record is one memory reference: NInstr non-memory instructions
@@ -24,9 +30,17 @@ type Record struct {
 	Write  bool
 }
 
-// Trace is an in-memory address trace.
+// Trace is an in-memory address trace. Records must not be mutated
+// after the first Instructions call (the total is cached).
 type Trace struct {
 	Records []Record
+
+	// instrs caches Instructions() as total+1 (0 = not yet computed),
+	// written once at capture/decode time — or lazily on first call —
+	// so per-sweep-config callers do not recompute an O(n) sum.
+	// Accessed atomically: concurrent sweep workers share read-only
+	// traces and may race on the first lazy computation.
+	instrs uint64
 }
 
 // Len returns the number of records.
@@ -34,12 +48,23 @@ func (t *Trace) Len() int { return len(t.Records) }
 
 // Instructions returns the total instruction count the trace
 // represents (each record is NInstr plain instructions + 1 access).
+// The sum is computed once — at capture/decode time for traces built
+// by this package, on first call otherwise — and cached.
 func (t *Trace) Instructions() uint64 {
-	var n uint64
-	for _, r := range t.Records {
-		n += uint64(r.NInstr) + 1
+	if v := atomic.LoadUint64(&t.instrs); v != 0 {
+		return v - 1
 	}
+	var n uint64
+	for i := range t.Records {
+		n += uint64(t.Records[i].NInstr) + 1
+	}
+	atomic.StoreUint64(&t.instrs, n+1)
 	return n
+}
+
+// setInstructions seeds the Instructions cache at capture/decode time.
+func (t *Trace) setInstructions(n uint64) {
+	atomic.StoreUint64(&t.instrs, n+1)
 }
 
 // Source produces records one at a time; workload generators adapt to
@@ -53,15 +78,24 @@ type Source interface {
 // number of memory accesses.
 func Capture(src Source, n int) *Trace {
 	t := &Trace{Records: make([]Record, 0, n)}
+	var instrs uint64
 	for i := 0; i < n; i++ {
-		t.Records = append(t.Records, src.NextRecord())
+		r := src.NextRecord()
+		instrs += uint64(r.NInstr) + 1
+		t.Records = append(t.Records, r)
 	}
+	t.setInstructions(instrs)
 	return t
 }
 
 const magic = "CPTR1\n"
 
-// Write encodes the trace to w.
+// minRecordBytes is the smallest possible encoding of one record in
+// either format (three fields, at least one byte each); decoders use
+// it to bound pre-allocation by what a stream could physically hold.
+const minRecordBytes = 3
+
+// Write encodes the trace in the flat v1 format.
 func (t *Trace) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {
@@ -77,38 +111,155 @@ func (t *Trace) Write(w io.Writer) error {
 		return err
 	}
 	var prevLine uint64
+	var scratch []byte
 	for _, r := range t.Records {
-		// gap<<1 | write
-		head := uint64(r.NInstr) << 1
-		if r.Write {
-			head |= 1
-		}
-		if err := writeUvarint(head); err != nil {
+		scratch, prevLine = appendRecord(scratch[:0], prevLine, r)
+		if _, err := bw.Write(scratch); err != nil {
 			return err
 		}
-		line := r.Addr >> 6 // encode at line granularity plus offset
-		delta := int64(line) - int64(prevLine)
-		if err := writeUvarint(zigzag(delta)); err != nil {
-			return err
-		}
-		if err := writeUvarint(r.Addr & 63); err != nil {
-			return err
-		}
-		prevLine = line
 	}
 	return bw.Flush()
 }
 
-// Read decodes a trace written by Write.
+// V1Writer streams records into the flat v1 format in O(1) memory.
+// Unlike the v2 Writer it cannot patch its header afterwards — the v1
+// header leads with the record count — so the count must be known up
+// front, and Close errors if the appended total differs. cmd/tracer
+// uses it for v2→v1 conversion (counting pre-pass when the source
+// header is unpatched).
+type V1Writer struct {
+	bw       *bufio.Writer
+	declared int64
+	prevLine uint64
+	scratch  []byte
+	records  int64
+	instrs   uint64
+	err      error
+}
+
+// NewV1Writer starts a v1 stream declaring exactly count records.
+func NewV1Writer(w io.Writer, count int64) *V1Writer {
+	vw := &V1Writer{bw: bufio.NewWriter(w), declared: count}
+	if _, err := vw.bw.WriteString(magic); err != nil {
+		vw.err = err
+		return vw
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(count))
+	if _, err := vw.bw.Write(buf[:n]); err != nil {
+		vw.err = err
+	}
+	return vw
+}
+
+// Append encodes one record.
+func (w *V1Writer) Append(r Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.records >= w.declared {
+		w.err = fmt.Errorf("trace: v1 writer declared %d records, got more", w.declared)
+		return w.err
+	}
+	w.scratch, w.prevLine = appendRecord(w.scratch[:0], w.prevLine, r)
+	if _, err := w.bw.Write(w.scratch); err != nil {
+		w.err = err
+		return err
+	}
+	w.records++
+	w.instrs += uint64(r.NInstr) + 1
+	return nil
+}
+
+// Close flushes the stream after checking the declared count was met.
+// It does not close the underlying writer.
+func (w *V1Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.records != w.declared {
+		w.err = fmt.Errorf("trace: v1 writer declared %d records, wrote %d", w.declared, w.records)
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	w.err = errors.New("trace: writer closed")
+	return nil
+}
+
+// Records returns how many records have been appended.
+func (w *V1Writer) Records() int64 { return w.records }
+
+// Instructions returns the instruction total of the appended records.
+func (w *V1Writer) Instructions() int64 { return int64(w.instrs) }
+
+// Read decodes a trace written by Write (v1) or WriteV2/Writer (v2)
+// into memory, dispatching on the magic. The record slice is pre-sized
+// from the header's record count, clamped by what the stream could
+// physically hold so a corrupt count cannot force a huge allocation.
 func Read(r io.Reader) (*Trace, error) {
+	hint := streamBytes(r)
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if string(head) != magic {
-		return nil, errors.New("trace: bad magic")
+	switch string(head) {
+	case magic:
+		return readV1(br, hint)
+	case magic2:
+		return readV2(br, hint)
 	}
+	return nil, errors.New("trace: bad magic")
+}
+
+// streamBytes returns the total bytes remaining in r, or -1 when the
+// reader exposes no length. It must be called before r is wrapped in a
+// bufio.Reader (buffering would hide consumed bytes from Len).
+func streamBytes(r io.Reader) int64 {
+	if lr, ok := r.(interface{ Len() int }); ok {
+		return int64(lr.Len())
+	}
+	if s, ok := r.(io.Seeker); ok {
+		cur, err := s.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return -1
+		}
+		end, err := s.Seek(0, io.SeekEnd)
+		if err != nil {
+			return -1
+		}
+		if _, err := s.Seek(cur, io.SeekStart); err != nil {
+			return -1
+		}
+		return end - cur
+	}
+	return -1
+}
+
+// fallbackCapRecords bounds the initial record allocation when the
+// stream length is unknown; the slice grows by append past it.
+const fallbackCapRecords = 1 << 16
+
+// recordCap clamps a header-declared record count into a safe initial
+// slice capacity: at most what streamBytes bytes can encode, and at
+// most fallbackCapRecords when the stream length is unknown.
+func recordCap(declared uint64, hint int64) int {
+	limit := declared
+	if hint >= 0 {
+		if most := uint64(hint) / minRecordBytes; most < limit {
+			limit = most
+		}
+	} else if limit > fallbackCapRecords {
+		limit = fallbackCapRecords
+	}
+	return int(limit)
+}
+
+// readV1 decodes the flat v1 record stream after the magic.
+func readV1(br *bufio.Reader, hint int64) (*Trace, error) {
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading count: %w", err)
@@ -117,8 +268,9 @@ func Read(r io.Reader) (*Trace, error) {
 	if n > maxRecords {
 		return nil, fmt.Errorf("trace: unreasonable record count %d", n)
 	}
-	t := &Trace{Records: make([]Record, 0, n)}
+	t := &Trace{Records: make([]Record, 0, recordCap(n, hint))}
 	var prevLine uint64
+	var instrs uint64
 	for i := uint64(0); i < n; i++ {
 		h, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -137,19 +289,68 @@ func Read(r io.Reader) (*Trace, error) {
 		}
 		line := uint64(int64(prevLine) + unzigzag(zd))
 		prevLine = line
-		t.Records = append(t.Records, Record{
+		rec := Record{
 			NInstr: uint32(h >> 1),
 			Addr:   line<<6 | off,
 			Write:  h&1 == 1,
-		})
+		}
+		instrs += uint64(rec.NInstr) + 1
+		t.Records = append(t.Records, rec)
 	}
+	// The count header bounds the stream exactly: trailing bytes mean
+	// a truncated write or corruption, same as a v2 terminator.
+	if _, err := br.ReadByte(); err == nil {
+		return nil, errTrailing
+	} else if err != io.EOF {
+		return nil, err
+	}
+	t.setInstructions(instrs)
+	return t, nil
+}
+
+// readV2 decodes a framed v2 stream after the magic, reusing the
+// frame decoder the streaming Reader is built on.
+func readV2(br *bufio.Reader, hint int64) (*Trace, error) {
+	hdrRecords, hdrInstrs, err := readHeader2(br)
+	if err != nil {
+		return nil, err
+	}
+	capHint := uint64(fallbackCapRecords)
+	if hdrRecords >= 0 {
+		capHint = uint64(hdrRecords)
+	}
+	t := &Trace{Records: make([]Record, 0, recordCap(capHint, hint))}
+	fd := frameDecoder{br: br}
+	var buf blockBuf
+	var instrs uint64
+	for {
+		n, err := fd.next(&buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: frame %d: %w", fd.frames, err)
+		}
+		instrs += buf.instrs
+		t.Records = append(t.Records, buf.recs[:n]...)
+	}
+	if hdrRecords >= 0 && int64(len(t.Records)) != hdrRecords {
+		return nil, fmt.Errorf("trace: header declares %d records, stream holds %d", hdrRecords, len(t.Records))
+	}
+	if hdrInstrs >= 0 && uint64(hdrInstrs) != instrs {
+		return nil, fmt.Errorf("trace: header declares %d instructions, stream holds %d", hdrInstrs, instrs)
+	}
+	t.setInstructions(instrs)
 	return t, nil
 }
 
 func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
-// Replayer replays a trace as a Source, optionally looping.
+// Replayer replays an in-memory trace, optionally looping. It is both
+// a Source (per-record replay) and the in-memory implementation of
+// BlockSource (block replay): the streamed and in-memory paths share
+// one shape, and out-of-core readers are drop-in replacements.
 type Replayer struct {
 	t    *Trace
 	pos  int
@@ -178,9 +379,59 @@ func (r *Replayer) NextRecord() Record {
 	return rec
 }
 
+// NextBlock returns every remaining record as one block (the whole
+// trace is already resident, so the natural block is all of it), or
+// nil at the end of the pass. Block replay ignores Loop: looping is
+// the consumer's policy (see workload.FromBlocks), signalled by
+// Rewind.
+//
+//lint:hotpath
+func (r *Replayer) NextBlock() ([]Record, error) {
+	if r.pos >= len(r.t.Records) {
+		return nil, nil
+	}
+	blk := r.t.Records[r.pos:]
+	r.pos = len(r.t.Records)
+	return blk, nil
+}
+
+// Rewind implements BlockSource: rewind for another pass.
+func (r *Replayer) Rewind() error {
+	r.pos = 0
+	return nil
+}
+
+// NumRecords implements BlockSource: the trace length is known.
+func (r *Replayer) NumRecords() int64 { return int64(len(r.t.Records)) }
+
+// NumInstructions implements BlockSource: the cached trace total.
+func (r *Replayer) NumInstructions() int64 { return int64(r.t.Instructions()) }
+
 // Exhausted reports whether a non-looping replayer has consumed every
 // record.
 func (r *Replayer) Exhausted() bool { return !r.Loop && r.pos >= len(r.t.Records) }
 
 // Reset rewinds the replayer.
 func (r *Replayer) Reset() { r.pos = 0 }
+
+// BlockSource yields a trace as consecutive blocks of records: the
+// shape shared by the in-memory Replayer and the out-of-core Reader,
+// threaded through both sweep engines (internal/simulate) and the
+// machine replay path (machine.AttachBlocks) so "the trace fits in
+// memory" is one implementation choice rather than an assumption.
+type BlockSource interface {
+	// NextBlock returns the next block of records, or nil at the end
+	// of the current pass. The returned slice is only valid until the
+	// next NextBlock or Rewind call.
+	NextBlock() ([]Record, error)
+	// Rewind restarts the source from the first record.
+	Rewind() error
+	// NumRecords returns the total record count, or -1 when the
+	// source cannot know it without a full pass.
+	NumRecords() int64
+	// NumInstructions returns the total instruction count (each
+	// record is NInstr + 1), or -1 when unknown.
+	NumInstructions() int64
+}
+
+var _ BlockSource = (*Replayer)(nil)
