@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-quick bench-kernel bench-sweep bench-trace vet fmt experiments examples cover fuzz staticcheck lint
+.PHONY: build test test-short bench bench-quick bench-kernel bench-sweep bench-trace bench-analytic vet fmt experiments examples cover fuzz staticcheck lint
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,15 @@ bench-sweep:
 	$(GO) test -run XXX -bench 'BenchmarkSweepFused|BenchmarkSweepPerSize' \
 		-benchtime 4x -count 2 -benchmem ./internal/simulate/
 
+# Analytic fast path vs exact Mattson on the acceptance workload at
+# both trace scales. Numbers are recorded in BENCH_analytic.json; the
+# sampled analytic curve must stay >= 10x over exact Mattson at the
+# SHARDS paper-standard rate (R=0.001, 600k records). Compare ratios
+# within one invocation only — the boxes are noisy.
+bench-analytic:
+	$(GO) test -run XXX -bench 'BenchmarkMattsonExact|BenchmarkAnalyticCurve|BenchmarkAnalyticStream' \
+		-benchtime 30x -count 5 -benchmem ./internal/simulate/
+
 # Streaming trace pipeline: v2 frame decode (sync, prefetch, sparse
 # corpus), the v1 baseline, whole-trace decode and the encoder.
 # Numbers are recorded in BENCH_trace.json; the v2 streaming decode
@@ -74,6 +83,7 @@ fuzz:
 	$(GO) test -fuzz '^FuzzKernel$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/conformance
 	$(GO) test -fuzz '^FuzzHierarchy$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/conformance
 	$(GO) test -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace
+	$(GO) test -fuzz '^FuzzSampledProfile$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/stackdist
 
 # Fetches staticcheck via the toolchain; the module itself stays
 # stdlib-only.

@@ -6,8 +6,9 @@
 // Usage:
 //
 //	cachesim [-records N] [-skip N] [-policy nehalem|lru|plru|random]
-//	         [-mode ways|sets] [-engine auto|fused|persize] [-nowarm]
-//	         [-seed N] [-save FILE] [-load FILE] [-stream] [-csv]
+//	         [-mode ways|sets] [-engine auto|fused|persize|analytic]
+//	         [-nowarm] [-seed N] [-save FILE] [-load FILE] [-stream]
+//	         [-analytic] [-sample-rate R] [-sample-size N] [-csv]
 //	         [-j N] [-cpuprofile FILE] <benchmark>
 //
 // ByWays sweeps default to the fused engine (one trace replay for all
@@ -21,6 +22,14 @@
 // O(block) memory, so the trace can be far larger than RAM. The curve
 // is bit-identical to the in-memory path (pinned by
 // internal/conformance and the CI CSV diff).
+//
+// -analytic additionally prints the SHARDS-sampled analytic estimate
+// (internal/analytic): one sampled profiling pass instead of a replay
+// per size, with per-point sampling error bars on stderr. -sample-rate
+// sets the SHARDS rate (1.0 = exact); -sample-size caps tracked lines
+// instead (fixed-size mode, rate adapts). Both compose with -stream —
+// the profile is built from the streamed blocks in O(sample) memory.
+// -engine analytic makes the estimate the main curve.
 package main
 
 import (
@@ -48,11 +57,14 @@ func main() {
 	save := flag.String("save", "", "write the captured trace to this file")
 	load := flag.String("load", "", "replay a trace file instead of capturing")
 	stream := flag.Bool("stream", false, "replay -load out of core: streamed decode in O(block) memory, never materialising the trace")
-	engine := flag.String("engine", "auto", "sweep engine: auto, fused (one replay, ByWays only), persize")
+	engine := flag.String("engine", "auto", "sweep engine: auto, fused (one replay, ByWays only), persize, analytic (sampled estimate)")
 	noWarm := flag.Bool("nowarm", false, "measure the first replay cold (no warm-up pass)")
 	csv := flag.Bool("csv", false, "emit CSV")
 	stack := flag.Bool("stack", false, "also print the analytical stack-distance model's curve")
 	mattson := flag.Bool("mattson", false, "also print the exact single-pass Mattson curve of the bare L3 (LRU, ByWays only)")
+	analyticFlag := flag.Bool("analytic", false, "also print the SHARDS-sampled analytic estimate with error bars")
+	sampleRate := flag.Float64("sample-rate", 0.01, "analytic SHARDS sampling rate in (0, 1]; 1.0 is exact")
+	sampleSize := flag.Int("sample-size", 0, "analytic fixed-size mode: cap tracked lines, rate adapts (overrides -sample-rate)")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers across cache sizes (1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	flag.Parse()
@@ -103,6 +115,8 @@ func main() {
 		eng = simulate.EngineFused
 	case "persize":
 		eng = simulate.EnginePerSize
+	case "analytic":
+		eng = simulate.EngineAnalytic
 	default:
 		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
 		os.Exit(2)
@@ -113,8 +127,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-stream requires -load FILE")
 			os.Exit(2)
 		}
-		if *stack || *mattson || *save != "" {
-			fmt.Fprintln(os.Stderr, "-stream is incompatible with -stack, -mattson and -save (they need the trace in memory)")
+		if *stack || *save != "" {
+			fmt.Fprintln(os.Stderr, "-stream is incompatible with -stack and -save (they need the trace in memory)")
 			os.Exit(2)
 		}
 	}
@@ -164,13 +178,20 @@ func main() {
 	}
 
 	mcfg := machine.WithL3Policy(machine.NehalemConfigNoPrefetch(), pol)
-	simCfg := simulate.Config{Machine: mcfg, Mode: swMode, Engine: eng, NoWarm: *noWarm, Workers: *workers}
+	simCfg := simulate.Config{
+		Machine: mcfg, Mode: swMode, Engine: eng, NoWarm: *noWarm, Workers: *workers,
+		SampleRate: *sampleRate, SampleSize: *sampleSize,
+	}
+	openSource := func() (trace.BlockSource, error) {
+		if *stream {
+			return trace.OpenFile(*load, trace.ReaderOptions{Prefetch: 2})
+		}
+		return trace.NewReplayer(tr, false), nil
+	}
 	var curve *analysis.Curve
 	var err error
 	if *stream {
-		curve, err = simulate.SweepStream(simCfg, func() (trace.BlockSource, error) {
-			return trace.OpenFile(*load, trace.ReaderOptions{Prefetch: 2})
-		})
+		curve, err = simulate.SweepStream(simCfg, openSource)
 	} else {
 		curve, err = simulate.Sweep(simCfg, tr)
 	}
@@ -206,7 +227,7 @@ func main() {
 	}
 
 	if *mattson {
-		mc, err := simulate.MattsonLRUCurve(simCfg, tr)
+		mc, err := simulate.MattsonLRUCurveStream(simCfg, openSource)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -218,5 +239,36 @@ func main() {
 		} else {
 			fmt.Print(mt.String())
 		}
+	}
+
+	if *analyticFlag {
+		est, err := simulate.AnalyticEstimate(simCfg, openSource)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ac := &analysis.Curve{Name: name + "/analytic"}
+		maxErr := 0.0
+		for _, p := range est.Points {
+			ac.Points = append(ac.Points, analysis.Point{
+				CacheBytes: p.CacheBytes,
+				FetchRatio: p.MissRatio,
+				MissRatio:  p.MissRatio,
+				Trusted:    true,
+				Samples:    1,
+			})
+			if p.StdErr > maxErr {
+				maxErr = p.StdErr
+			}
+		}
+		ac.Sort()
+		at := report.CurveTable(name+" — analytic SHARDS estimate (sampled profile, set-assoc corrected)", ac)
+		if *csv {
+			fmt.Print(at.CSV())
+		} else {
+			fmt.Print(at.String())
+		}
+		fmt.Fprintf(os.Stderr, "analytic: rate %.4g, sampled %d/%d records, max miss-ratio stderr ±%.4f\n",
+			est.Rate, est.Sampled, est.Records, maxErr)
 	}
 }

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	tracer record  [-records N] [-skip N] [-seed N] [-frame N] -o FILE <benchmark>
-//	tracer info    [-check] FILE
+//	tracer info    [-check] [-footprint] [-sample-size N] FILE
 //	tracer convert -to v1|v2 [-frame N] -o FILE SRC
 //	tracer compact [-frame N] -o FILE SRC
 //
@@ -16,10 +16,13 @@
 // from the workload generator into the current frame, and the file
 // header's record/instruction totals are patched on Close. info skims
 // frame headers (cheap); -check re-decodes every frame and verifies
-// the rolling checksum chain. convert streams SRC (either version)
-// into the requested format; compact is convert -to v2, useful to
-// re-frame a v2 file or upgrade a v1 capture in place. All conversion
-// paths run in O(frame) memory, so multi-GB traces are fine.
+// the rolling checksum chain; -footprint runs one SHARDS-sampled
+// profiling pass (internal/analytic, fixed-size mode: O(sample-size)
+// memory however large the file) and reports the estimated footprint
+// and working-set sizes. convert streams SRC (either version) into the
+// requested format; compact is convert -to v2, useful to re-frame a v2
+// file or upgrade a v1 capture in place. All conversion paths run in
+// O(frame) memory, so multi-GB traces are fine.
 package main
 
 import (
@@ -28,6 +31,8 @@ import (
 	"io"
 	"os"
 
+	"cachepirate/internal/analytic"
+	"cachepirate/internal/stackdist"
 	"cachepirate/internal/trace"
 	"cachepirate/internal/workload"
 )
@@ -35,7 +40,7 @@ import (
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   tracer record  [-records N] [-skip N] [-seed N] [-frame N] -o FILE <benchmark>
-  tracer info    [-check] FILE
+  tracer info    [-check] [-footprint] [-sample-size N] FILE
   tracer convert -to v1|v2 [-frame N] -o FILE SRC
   tracer compact [-frame N] -o FILE SRC
 `)
@@ -120,6 +125,8 @@ func record(args []string) {
 func info(args []string) {
 	fs := flag.NewFlagSet("tracer info", flag.ExitOnError)
 	check := fs.Bool("check", false, "fully decode and verify frame checksums")
+	footprint := fs.Bool("footprint", false, "one sampled pass: estimate footprint and working-set sizes")
+	sampleSize := fs.Int("sample-size", 8192, "-footprint sample cap in lines (memory bound)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -175,6 +182,46 @@ func info(args []string) {
 		}
 		fmt.Printf("  check:         OK — %d records, %d instructions, checksums verified\n", recs, instrs)
 	}
+
+	if *footprint {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			fatal(err)
+		}
+		r, err := trace.NewReader(f, trace.ReaderOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		prof, err := analytic.ProfileSource(r, stackdist.SampledConfig{
+			MaxSampled:  *sampleSize,
+			MaxDistance: 1 << 20, // 64MB of 64-byte lines before overflow
+		})
+		if err != nil {
+			fatal(fmt.Errorf("%s: footprint pass: %w", path, err))
+		}
+		fmt.Printf("  footprint:     %s (~%.0f distinct lines, SHARDS rate %.4g, %d sampled)\n",
+			sizeString(prof.Footprint()), prof.Hist.DistinctLines(), prof.Hist.Rate, prof.Hist.Sampled)
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			ws, err := prof.WorkingSet(q)
+			if err != nil {
+				fmt.Printf("  working set:   P%.0f unavailable (%v)\n", q*100, err)
+				break
+			}
+			fmt.Printf("  working set:   P%.0f %s\n", q*100, sizeString(ws))
+		}
+	}
+}
+
+// sizeString renders a byte count with a binary unit.
+func sizeString(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKB", b/(1<<10))
+	}
+	return fmt.Sprintf("%.0fB", b)
 }
 
 // convert streams SRC into the requested format. forceTo pins the

@@ -1,0 +1,192 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"cachepirate/internal/stackdist"
+	"cachepirate/internal/trace"
+	"cachepirate/internal/workload"
+)
+
+func captureLines(gen workload.Generator, n int) *trace.Trace {
+	tr := &trace.Trace{Records: make([]trace.Record, 0, n)}
+	for i := 0; i < n; i++ {
+		op := gen.Next()
+		tr.Records = append(tr.Records, trace.Record{Addr: op.Addr, NInstr: 1, Write: op.Write})
+	}
+	return tr
+}
+
+func mixTrace(n int) *trace.Trace {
+	return captureLines(workload.NewMix("m", 3,
+		workload.Component{Gen: workload.NewHotCold(workload.HotColdConfig{Name: "hc", Span: 48 << 10, Skew: 0.2, Seed: 11}), Weight: 0.7},
+		workload.Component{Gen: workload.NewSequential(workload.SequentialConfig{Name: "s", Span: 96 << 10, Elem: 64}), Weight: 0.3},
+	), n)
+}
+
+// TestProfileThresholdExactAtRateOne: at rate 1.0 the profile's
+// threshold model is the exact stack-distance model — miss ratios
+// match stackdist.Analyze bit for bit at every size.
+func TestProfileThresholdExactAtRateOne(t *testing.T) {
+	tr := mixTrace(40000)
+	pr, err := ProfileTrace(tr, stackdist.SampledConfig{Rate: 1, MaxDistance: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := stackdist.Analyze(tr, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int64{1 << 10, 16 << 10, 64 << 10, 256 << 10} {
+		want := exact.MissRatio(size / 64)
+		got := pr.MissRatio(size)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("size %d: analytic %v != exact %v", size, got, want)
+		}
+	}
+}
+
+// TestProfileSourceMatchesTrace: the streamed and in-memory profiling
+// paths produce identical estimates.
+func TestProfileSourceMatchesTrace(t *testing.T) {
+	tr := mixTrace(20000)
+	cfg := stackdist.SampledConfig{Rate: 0.25, MaxDistance: 2048, Seed: 3}
+	a, err := ProfileTrace(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ProfileSource(trace.NewReplayer(tr, false), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int64{4 << 10, 32 << 10, 128 << 10} {
+		if math.Float64bits(a.MissRatio(size)) != math.Float64bits(b.MissRatio(size)) {
+			t.Errorf("size %d: in-memory %v != streamed %v", size, a.MissRatio(size), b.MissRatio(size))
+		}
+	}
+	if len(a.PDF) != len(b.PDF) {
+		t.Fatalf("pdf lengths differ: %d vs %d", len(a.PDF), len(b.PDF))
+	}
+}
+
+// TestSetAssocCorrection: the Poisson-corrected threshold model must
+// land near the exact per-set Mattson miss ratio on a real geometry.
+func TestSetAssocCorrection(t *testing.T) {
+	const (
+		sets    = 64
+		maxWays = 16
+	)
+	tr := mixTrace(60000)
+	exact, err := stackdist.SetAssocLRU(tr, sets, maxWays, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := ProfileTrace(tr, stackdist.SampledConfig{Rate: 1, MaxDistance: sets * maxWays * 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ways := range []int{2, 4, 8, 16} {
+		want, err := exact.MissRatio(ways)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := pr.MissRatioSetAssoc(sets, ways)
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("%d ways: corrected %v vs exact %v (|Δ| > 0.03)", ways, got, want)
+		}
+	}
+}
+
+// TestCheMissRatioTracksThreshold: on the mixed workload the Che model
+// agrees with the threshold model to within a coarse bound — the two
+// derive from different assumptions (IRM vs measured reuse order), so
+// only rough agreement is expected, but gross divergence means a bug.
+func TestCheMissRatioTracksThreshold(t *testing.T) {
+	tr := mixTrace(40000)
+	pr, err := ProfileTrace(tr, stackdist.SampledConfig{Rate: 1, MaxDistance: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int64{8 << 10, 32 << 10, 96 << 10} {
+		th := pr.MissRatio(size)
+		che := pr.CheMissRatio(size)
+		if che < 0 || che > 1 {
+			t.Fatalf("size %d: Che miss ratio %v out of [0,1]", size, che)
+		}
+		if math.Abs(th-che) > 0.25 {
+			t.Errorf("size %d: threshold %v vs Che %v diverge", size, th, che)
+		}
+	}
+}
+
+// TestEstimateShape: curve estimates carry one point per grid entry,
+// monotone sizes, error bars in [0, 1], and the sampling metadata.
+func TestEstimateShape(t *testing.T) {
+	tr := mixTrace(30000)
+	pr, err := ProfileTrace(tr, stackdist.SampledConfig{Rate: 0.5, MaxDistance: 4096, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := []Geometry{
+		{CacheBytes: 8 << 10},
+		{CacheBytes: 32 << 10, Sets: 64, Ways: 8},
+		{CacheBytes: 128 << 10},
+	}
+	est, err := pr.Estimate(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Model != "threshold" || len(est.Points) != len(grid) {
+		t.Fatalf("estimate shape: %+v", est)
+	}
+	if est.Records != 30000 || est.Sampled == 0 || est.Rate <= 0 {
+		t.Fatalf("metadata: %+v", est)
+	}
+	for i, p := range est.Points {
+		if p.CacheBytes != grid[i].CacheBytes {
+			t.Errorf("point %d size %d, want %d", i, p.CacheBytes, grid[i].CacheBytes)
+		}
+		if p.MissRatio < 0 || p.MissRatio > 1 || p.StdErr < 0 || p.StdErr > 1 {
+			t.Errorf("point %d out of range: %+v", i, p)
+		}
+	}
+	che, err := pr.EstimateChe(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if che.Model != "che" || len(che.Points) != len(grid) {
+		t.Fatalf("che estimate shape: %+v", che)
+	}
+
+	if _, err := pr.Estimate(nil); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if _, err := pr.Estimate([]Geometry{{CacheBytes: 0}}); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+// TestFootprintWorkingSet: the summary statistics behave on a known
+// workload — sequential over 96KB + hot/cold over 48KB gives a
+// footprint near 112KB (the union includes the overlapping low 48KB
+// once... spans are independent address spaces, so the footprint is
+// bounded by the sum) and a positive working set.
+func TestFootprintWorkingSet(t *testing.T) {
+	tr := mixTrace(60000)
+	pr, err := ProfileTrace(tr, stackdist.SampledConfig{Rate: 1, MaxDistance: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := pr.Footprint()
+	if fp <= 0 || fp > 160<<10 {
+		t.Errorf("footprint %v bytes out of plausible range", fp)
+	}
+	ws, err := pr.WorkingSet(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws <= 0 || ws > fp+64 {
+		t.Errorf("P90 working set %v vs footprint %v", ws, fp)
+	}
+}

@@ -1,0 +1,125 @@
+// Che's characteristic-time approximation, ported from the reference
+// implementation in icarus cacheperf.py (see SNIPPETS.md). Under the
+// independent reference model an LRU cache of C lines behaves, per
+// line, like a timeout cache: line i is resident iff it was referenced
+// within the last T accesses, where the characteristic time T is the
+// root of the occupancy equation
+//
+//	sum_i (1 - exp(-p_i * T)) = C
+//
+// (the expected number of resident lines equals the capacity). The
+// per-line hit probability is then 1 - exp(-p_i * T) and the aggregate
+// hit ratio its popularity-weighted mean. The full variant re-solves T
+// excluding each line in turn (Che's original formulation); the
+// simplified variant uses one global T, which converges to the same
+// answer as the population grows and is the one the product path uses.
+//
+// With SHARDS sampling we observe only a rate-fraction of the line
+// population; population sums are estimated as scale = 1/rate times
+// the sample sums, which is how every function here consumes its pdf.
+package analytic
+
+import "math"
+
+// cheIters bounds the bisection: 64 halvings of the bracket reach
+// float64 resolution from any starting width.
+const cheIters = 64
+
+// bisect finds a root of f in [lo, hi], assuming f(lo) <= 0 <= f(hi).
+func bisect(f func(float64) float64, lo, hi float64) float64 {
+	for i := 0; i < cheIters; i++ {
+		mid := 0.5 * (lo + hi)
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// cheOccupancy is the expected resident-line count at characteristic
+// time t: scale * sum(1 - exp(-p_i t)) over the sampled population,
+// optionally excluding index skip (pass skip < 0 to include all).
+func cheOccupancy(pdf []float64, scale, t float64, skip int) float64 {
+	var occ float64
+	for i, p := range pdf {
+		if i == skip {
+			continue
+		}
+		occ += 1 - math.Exp(-p*t)
+	}
+	return occ * scale
+}
+
+// CheCharacteristicTime solves the occupancy equation for a cache of
+// capacityLines lines over the sampled popularity pdf (per-access
+// probabilities) with population scale 1/rate, excluding index skip
+// (< 0 for none). Returns +Inf when the cache holds the whole
+// estimated population — every line is always resident.
+func CheCharacteristicTime(pdf []float64, scale, capacityLines float64, skip int) float64 {
+	n := float64(len(pdf)) * scale
+	if skip >= 0 && skip < len(pdf) {
+		n -= scale
+	}
+	if capacityLines >= n {
+		return math.Inf(1)
+	}
+	// Bracket: occupancy is 0 at t=0 and increasing; double hi until it
+	// covers the capacity.
+	hi := 1.0
+	for cheOccupancy(pdf, scale, hi, skip) < capacityLines && hi < math.MaxFloat64/4 {
+		hi *= 2
+	}
+	return bisect(func(t float64) float64 {
+		return cheOccupancy(pdf, scale, t, skip) - capacityLines
+	}, 0, hi)
+}
+
+// CheHitRatioSimplified predicts the hit ratio of a fully-associative
+// LRU cache of capacityLines lines using one global characteristic
+// time: hit = sum(p_i * (1 - exp(-p_i T))) / sum(p_i). This is the
+// O(n log) variant the analytic curve path uses.
+func CheHitRatioSimplified(pdf []float64, scale, capacityLines float64) float64 {
+	var mass float64
+	for _, p := range pdf {
+		mass += p
+	}
+	if mass <= 0 {
+		return 0
+	}
+	t := CheCharacteristicTime(pdf, scale, capacityLines, -1)
+	if math.IsInf(t, 1) {
+		return 1
+	}
+	var hit float64
+	for _, p := range pdf {
+		hit += p * (1 - math.Exp(-p*t))
+	}
+	return hit / mass
+}
+
+// CheHitRatio is Che's full per-line variant: the characteristic time
+// seen by line i excludes i itself from the occupancy equation. It is
+// O(n^2 log) — use it for small populations and as the accuracy
+// reference for the simplified variant, which it converges to as n
+// grows.
+func CheHitRatio(pdf []float64, scale, capacityLines float64) float64 {
+	var mass float64
+	for _, p := range pdf {
+		mass += p
+	}
+	if mass <= 0 {
+		return 0
+	}
+	var hit float64
+	for i, p := range pdf {
+		t := CheCharacteristicTime(pdf, scale, capacityLines, i)
+		if math.IsInf(t, 1) {
+			hit += p
+			continue
+		}
+		hit += p * (1 - math.Exp(-p*t))
+	}
+	return hit / mass
+}

@@ -1,0 +1,148 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+// uniformPDF builds n equally popular lines.
+func uniformPDF(n int) []float64 {
+	pdf := make([]float64, n)
+	for i := range pdf {
+		pdf[i] = 1 / float64(n)
+	}
+	return pdf
+}
+
+// TestCheUniformClosedForm: with n equally popular lines, the
+// occupancy equation has the closed-form solution
+// T = -n ln(1 - C/n), and the hit ratio is simply C/n (the cache holds
+// a C/n fraction of an exchangeable population).
+func TestCheUniformClosedForm(t *testing.T) {
+	const n = 100
+	pdf := uniformPDF(n)
+	for _, c := range []float64{1, 10, 50, 90} {
+		wantT := -float64(n) * math.Log(1-c/n)
+		gotT := CheCharacteristicTime(pdf, 1, c, -1)
+		if math.Abs(gotT-wantT) > 1e-6*wantT {
+			t.Errorf("C=%v: T %v, want %v", c, gotT, wantT)
+		}
+		wantHit := c / n
+		gotHit := CheHitRatioSimplified(pdf, 1, c)
+		if math.Abs(gotHit-wantHit) > 1e-9 {
+			t.Errorf("C=%v: hit %v, want %v", c, gotHit, wantHit)
+		}
+	}
+}
+
+// TestCheFullCapacity: a cache at least as large as the population
+// holds everything — T is infinite and the hit ratio is 1.
+func TestCheFullCapacity(t *testing.T) {
+	pdf := uniformPDF(16)
+	if tc := CheCharacteristicTime(pdf, 1, 16, -1); !math.IsInf(tc, 1) {
+		t.Errorf("T at full capacity = %v, want +Inf", tc)
+	}
+	if h := CheHitRatioSimplified(pdf, 1, 20); h != 1 {
+		t.Errorf("hit ratio above full capacity = %v, want 1", h)
+	}
+	if h := CheHitRatio(pdf, 1, 20); h != 1 {
+		t.Errorf("full-variant hit ratio above capacity = %v, want 1", h)
+	}
+}
+
+// TestCheScale: a sampled population with scale k must predict the
+// same hit ratio as the k-times replicated full population (the
+// population is exchangeable under replication).
+func TestCheScale(t *testing.T) {
+	sample := []float64{0.4, 0.1, 0.05, 0.01}
+	const k = 8
+	full := make([]float64, 0, len(sample)*k)
+	for i := 0; i < k; i++ {
+		full = append(full, sample...)
+	}
+	// Normalise the replicated pdf so probabilities stay per-access.
+	for i := range full {
+		full[i] /= k
+	}
+	// In the scaled view each sampled probability represents itself
+	// (per-access probabilities are unchanged by sampling); the
+	// replicated view divides by k, so capacity-for-capacity the two
+	// agree when the sampled probabilities are also divided by k.
+	scaled := make([]float64, len(sample))
+	for i, p := range sample {
+		scaled[i] = p / k
+	}
+	for _, c := range []float64{2, 8, 16, 24} {
+		a := CheHitRatioSimplified(scaled, k, c)
+		b := CheHitRatioSimplified(full, 1, c)
+		if math.Abs(a-b) > 1e-9 {
+			t.Errorf("C=%v: scaled %v vs replicated %v", c, a, b)
+		}
+	}
+}
+
+// TestCheFullVsSimplified: the two variants converge as the population
+// grows; for a moderately skewed 200-line population they agree to a
+// couple of percent (tightest at large capacities, loosest when the
+// cache holds only the head of the popularity distribution).
+func TestCheFullVsSimplified(t *testing.T) {
+	const n = 200
+	pdf := make([]float64, n)
+	var sum float64
+	for i := range pdf {
+		pdf[i] = 1 / float64(i+1) // Zipf(1)
+		sum += pdf[i]
+	}
+	for i := range pdf {
+		pdf[i] /= sum
+	}
+	for _, c := range []float64{5, 20, 80, 150} {
+		full := CheHitRatio(pdf, 1, c)
+		simp := CheHitRatioSimplified(pdf, 1, c)
+		if math.Abs(full-simp) > 0.02 {
+			t.Errorf("C=%v: full %v vs simplified %v", c, full, simp)
+		}
+	}
+}
+
+// TestCheMonotone: hit ratio is nondecreasing in capacity.
+func TestCheMonotone(t *testing.T) {
+	pdf := []float64{0.3, 0.2, 0.1, 0.05, 0.05, 0.02, 0.01}
+	prev := -1.0
+	for c := 1.0; c <= 8; c++ {
+		h := CheHitRatioSimplified(pdf, 1, c)
+		if h < prev-1e-12 {
+			t.Fatalf("hit ratio decreased at C=%v: %v -> %v", c, prev, h)
+		}
+		prev = h
+	}
+}
+
+// TestCheEmpty: a degenerate profile predicts zero hits, not NaN.
+func TestCheEmpty(t *testing.T) {
+	if h := CheHitRatioSimplified(nil, 1, 4); h != 0 {
+		t.Errorf("empty pdf hit ratio %v, want 0", h)
+	}
+	if h := CheHitRatio(nil, 1, 4); h != 0 {
+		t.Errorf("empty pdf full hit ratio %v, want 0", h)
+	}
+}
+
+// TestPoissonCDF checks the recurrence against direct evaluation.
+func TestPoissonCDF(t *testing.T) {
+	if got := poissonCDF(0, 3); got != 1 {
+		t.Errorf("lambda 0: %v, want 1", got)
+	}
+	if got := poissonCDF(2, -1); got != 0 {
+		t.Errorf("k=-1: %v, want 0", got)
+	}
+	// P[Poisson(1.5) <= 2] = e^-1.5 (1 + 1.5 + 1.125)
+	want := math.Exp(-1.5) * (1 + 1.5 + 1.125)
+	if got := poissonCDF(1.5, 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("P[Pois(1.5)<=2] = %v, want %v", got, want)
+	}
+	// Large lambda with small k underflows gracefully toward 0.
+	if got := poissonCDF(700, 1); got < 0 || got > 1e-100 {
+		t.Errorf("deep-tail CDF %v", got)
+	}
+}

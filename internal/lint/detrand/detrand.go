@@ -25,6 +25,7 @@ var Scope = []string{
 	"internal/core",
 	"internal/simulate",
 	"internal/stackdist",
+	"internal/analytic",
 	"internal/prefetch",
 	"internal/mem",
 	"internal/cpu",

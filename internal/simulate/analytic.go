@@ -1,0 +1,166 @@
+package simulate
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cachepirate/internal/analysis"
+	"cachepirate/internal/analytic"
+	"cachepirate/internal/stackdist"
+	"cachepirate/internal/trace"
+)
+
+// analyticDepthFactor sizes the sampled histogram relative to the
+// largest swept capacity: the Poisson set-associativity correction
+// credits non-trivial hit probability well past the capacity in lines
+// (P[Poisson(d/S) < W] decays around d ~ S*W, not at it), so the
+// histogram tracks distances to 8x the largest size before folding
+// into overflow, where the residual hit probability is < 1e-3 even at
+// one way.
+const analyticDepthFactor = 8
+
+// analyticGrid maps the sweep's size grid to analytic geometries: the
+// same shrink rules as every other engine (ByWays keeps sets and
+// drops ways; BySets the converse), so the analytic curve answers the
+// same question the reference sweep does.
+func analyticGrid(cfg Config) ([]analytic.Geometry, int, error) {
+	grid := make([]analytic.Geometry, len(cfg.Sizes))
+	maxLines := 0
+	for i, size := range cfg.Sizes {
+		mcfg, err := shrink(cfg.Machine, cfg.Mode, size)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := mcfg.Validate(); err != nil {
+			return nil, 0, fmt.Errorf("simulate: size %d: %w", size, err)
+		}
+		grid[i] = analytic.Geometry{
+			CacheBytes: size,
+			Sets:       int(mcfg.L3.Sets()),
+			Ways:       mcfg.L3.Ways,
+		}
+		if lines := int(size / cfg.Machine.L3.LineSize); lines > maxLines {
+			maxLines = lines
+		}
+	}
+	return grid, maxLines, nil
+}
+
+// analyticSampleConfig derives the profiler configuration from the
+// sweep config: SampleRate/SampleSize select SHARDS fixed-rate or
+// fixed-size mode; with neither set the profiler runs at rate 1.0,
+// where SHARDS degenerates to the exact Mattson analysis.
+func analyticSampleConfig(cfg Config, maxLines int) stackdist.SampledConfig {
+	depth := maxLines * analyticDepthFactor
+	if depth < 4096 {
+		depth = 4096
+	}
+	rate := cfg.SampleRate
+	if rate == 0 && cfg.SampleSize == 0 {
+		rate = 1 // exact: SHARDS degenerates to the full Mattson pass
+	}
+	return stackdist.SampledConfig{
+		Rate:        rate,
+		MaxSampled:  cfg.SampleSize,
+		Seed:        1,
+		MaxDistance: depth,
+		LineShift:   uint(bits.TrailingZeros64(uint64(cfg.Machine.L3.LineSize))),
+	}
+}
+
+// AnalyticEstimate predicts the sweep's miss-ratio curve analytically:
+// one SHARDS-sampled profiling pass over the stream (O(sample) time,
+// O(1) memory — no replay per size, no trace materialised), then a
+// set-associativity-corrected threshold-model evaluation per size,
+// with per-point sampling error bars. This is the full-information
+// form; AnalyticCurve/AnalyticCurveStream adapt it to the
+// analysis.Curve shape the rest of the pipeline consumes.
+func AnalyticEstimate(cfg Config, open func() (trace.BlockSource, error)) (est *analytic.CurveEstimate, err error) {
+	cfg = cfg.withDefaults()
+	grid, maxLines, err := analyticGrid(cfg)
+	if err != nil {
+		return nil, err
+	}
+	src, err := open()
+	if err != nil {
+		return nil, err
+	}
+	defer closeSource(src, &err)
+	prof, err := analytic.ProfileSource(src, analyticSampleConfig(cfg, maxLines))
+	if err != nil {
+		return nil, err
+	}
+	if prof.Hist.Records == 0 {
+		return nil, fmt.Errorf("simulate: empty trace")
+	}
+	return prof.Estimate(grid)
+}
+
+// AnalyticCurveStream is AnalyticEstimate shaped as an analysis.Curve
+// (name "analytic"; no prefetcher in the model, so fetches equal
+// misses and CPI/bandwidth stay zero). Error bars survive in the
+// CurveEstimate — use AnalyticEstimate when they matter.
+func AnalyticCurveStream(cfg Config, open func() (trace.BlockSource, error)) (*analysis.Curve, error) {
+	est, err := AnalyticEstimate(cfg, open)
+	if err != nil {
+		return nil, err
+	}
+	curve := &analysis.Curve{Name: "analytic"}
+	for _, p := range est.Points {
+		curve.Points = append(curve.Points, analysis.Point{
+			CacheBytes: p.CacheBytes,
+			FetchRatio: p.MissRatio,
+			MissRatio:  p.MissRatio,
+			Trusted:    true,
+			Samples:    1,
+		})
+	}
+	curve.Sort()
+	return curve, nil
+}
+
+// AnalyticCurve is AnalyticCurveStream over an in-memory trace.
+func AnalyticCurve(cfg Config, tr *trace.Trace) (*analysis.Curve, error) {
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("simulate: empty trace")
+	}
+	return AnalyticCurveStream(cfg, func() (trace.BlockSource, error) {
+		return trace.NewReplayer(tr, false), nil
+	})
+}
+
+// MattsonLRUCurveStream is MattsonLRUCurve over any trace.BlockSource:
+// the exact per-set Mattson pass runs block-at-a-time through a pooled
+// profiler (stackdist.SetAssocProfiler), so multi-GB traces stream
+// through in O(sets*ways) memory. Same restrictions as the in-memory
+// form: LRU policy, ByWays mode.
+func MattsonLRUCurveStream(cfg Config, open func() (trace.BlockSource, error)) (curve *analysis.Curve, err error) {
+	cfg = cfg.withDefaults()
+	ways, sets, lineShift, err := mattsonGeometry(cfg)
+	if err != nil {
+		return nil, err
+	}
+	maxWays := 0
+	for _, w := range ways {
+		if w > maxWays {
+			maxWays = w
+		}
+	}
+	p, err := stackdist.NewSetAssocProfiler(sets, maxWays, lineShift)
+	if err != nil {
+		return nil, err
+	}
+	src, err := open()
+	if err != nil {
+		return nil, err
+	}
+	defer closeSource(src, &err)
+	if err := p.FeedSource(src); err != nil {
+		return nil, err
+	}
+	h := p.Histogram()
+	if h.Total == 0 {
+		return nil, fmt.Errorf("simulate: empty trace")
+	}
+	return mattsonCurve(cfg, h, ways)
+}

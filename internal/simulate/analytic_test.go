@@ -1,0 +1,140 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+
+	"cachepirate/internal/cache"
+	"cachepirate/internal/trace"
+)
+
+// lruSweepConfig is the acceptance geometry: the small 16-way LRU L3,
+// one size per way.
+func lruSweepConfig(engine Engine) Config {
+	mcfg := smallMachine()
+	mcfg.L3.Policy = cache.LRU
+	return Config{Machine: mcfg, Workers: 1, Engine: engine}
+}
+
+// TestMattsonStreamMatchesInMemory: the streamed Mattson pass is the
+// same pass — bit-identical curve.
+func TestMattsonStreamMatchesInMemory(t *testing.T) {
+	tr := CaptureTrace(randFactory(64<<10), 1, 0, 40000)
+	cfg := lruSweepConfig(EngineAuto)
+	want, err := MattsonLRUCurve(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MattsonLRUCurveStream(cfg, func() (trace.BlockSource, error) {
+		return trace.NewReplayer(tr, false), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != len(want.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(got.Points), len(want.Points))
+	}
+	for i := range want.Points {
+		if math.Float64bits(got.Points[i].MissRatio) != math.Float64bits(want.Points[i].MissRatio) {
+			t.Errorf("size %d: streamed %v != in-memory %v",
+				want.Points[i].CacheBytes, got.Points[i].MissRatio, want.Points[i].MissRatio)
+		}
+	}
+}
+
+// TestAnalyticCurveTracksMattson: at rate 1.0 the analytic engine runs
+// the exact FA histogram through the Poisson set-associativity
+// correction; its curve must track the exact Mattson curve within the
+// documented approximation bound on the acceptance geometry. The
+// workload's footprint (96KB) deliberately exceeds the largest swept
+// cache: when a balanced-mapping working set exactly fits the cache,
+// the Poisson argument (which assumes random set assignment) predicts
+// conflict misses that a perfectly spread mapping never takes — the
+// documented worst case of the correction, exercised separately in
+// conformance with a wider bound.
+func TestAnalyticCurveTracksMattson(t *testing.T) {
+	tr := CaptureTrace(randFactory(96<<10), 1, 0, 60000)
+	cfg := lruSweepConfig(EngineAnalytic)
+	exact, err := MattsonLRUCurve(lruSweepConfig(EngineAuto), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AnalyticCurve(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "analytic" || len(got.Points) != len(exact.Points) {
+		t.Fatalf("curve shape: name %q, %d points (want %d)", got.Name, len(got.Points), len(exact.Points))
+	}
+	for i := range exact.Points {
+		d := math.Abs(got.Points[i].MissRatio - exact.Points[i].MissRatio)
+		if d > 0.05 {
+			t.Errorf("size %d: analytic %v vs mattson %v (|Δ| %v > 0.05)",
+				exact.Points[i].CacheBytes, got.Points[i].MissRatio, exact.Points[i].MissRatio, d)
+		}
+	}
+}
+
+// TestSweepDispatchesAnalytic: Engine selection through the ordinary
+// Sweep entry point routes to the analytic estimator, in-memory and
+// streamed alike, and both paths agree bit for bit.
+func TestSweepDispatchesAnalytic(t *testing.T) {
+	tr := CaptureTrace(randFactory(64<<10), 1, 0, 30000)
+	cfg := lruSweepConfig(EngineAnalytic)
+	cfg.SampleRate = 0.5
+	inmem, err := Sweep(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inmem.Name != "analytic" {
+		t.Fatalf("sweep with EngineAnalytic produced curve %q", inmem.Name)
+	}
+	streamed, err := SweepStream(cfg, func() (trace.BlockSource, error) {
+		return trace.NewReplayer(tr, false), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inmem.Points {
+		if math.Float64bits(inmem.Points[i].MissRatio) != math.Float64bits(streamed.Points[i].MissRatio) {
+			t.Errorf("size %d: in-memory %v != streamed %v",
+				inmem.Points[i].CacheBytes, inmem.Points[i].MissRatio, streamed.Points[i].MissRatio)
+		}
+	}
+}
+
+// TestAnalyticEstimateMetadata: the estimate form carries the sampling
+// metadata and error bars the Curve shape drops.
+func TestAnalyticEstimateMetadata(t *testing.T) {
+	tr := CaptureTrace(randFactory(64<<10), 1, 0, 30000)
+	cfg := lruSweepConfig(EngineAnalytic)
+	cfg.SampleSize = 200
+	est, err := AnalyticEstimate(cfg, func() (trace.BlockSource, error) {
+		return trace.NewReplayer(tr, false), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Records != 30000 {
+		t.Errorf("records %d", est.Records)
+	}
+	if est.Rate <= 0 || est.Rate > 1 {
+		t.Errorf("rate %v", est.Rate)
+	}
+	if len(est.Points) != 16 {
+		t.Errorf("%d points, want 16 (one per way)", len(est.Points))
+	}
+	for _, p := range est.Points {
+		if p.StdErr <= 0 || p.StdErr > 0.5 {
+			t.Errorf("size %d: stderr %v implausible", p.CacheBytes, p.StdErr)
+		}
+	}
+}
+
+// TestAnalyticEmptyTrace: empty inputs error like every other engine.
+func TestAnalyticEmptyTrace(t *testing.T) {
+	cfg := lruSweepConfig(EngineAnalytic)
+	if _, err := AnalyticCurve(cfg, &trace.Trace{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

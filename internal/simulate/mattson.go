@@ -10,6 +10,53 @@ import (
 	"cachepirate/internal/trace"
 )
 
+// mattsonGeometry validates the sweep config for the Mattson fast path
+// and returns the per-size way counts plus the shared L3 geometry.
+func mattsonGeometry(cfg Config) (ways []int, sets int, lineShift uint, err error) {
+	if cfg.Machine.L3.Policy != cache.LRU {
+		return nil, 0, 0, fmt.Errorf("simulate: Mattson fast path requires the LRU policy (stack inclusion), have %v", cfg.Machine.L3.Policy)
+	}
+	if cfg.Mode != ByWays {
+		return nil, 0, 0, fmt.Errorf("simulate: Mattson fast path requires the ByWays sweep mode")
+	}
+	ways = make([]int, len(cfg.Sizes))
+	for i, size := range cfg.Sizes {
+		mcfg, err := shrink(cfg.Machine, cfg.Mode, size)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if err := mcfg.Validate(); err != nil {
+			return nil, 0, 0, fmt.Errorf("simulate: size %d: %w", size, err)
+		}
+		ways[i] = mcfg.L3.Ways
+	}
+	sets = int(cfg.Machine.L3.Sets())
+	lineShift = uint(bits.TrailingZeros64(uint64(cfg.Machine.L3.LineSize)))
+	return ways, sets, lineShift, nil
+}
+
+// mattsonCurve reads the per-size miss ratios out of the depth
+// histogram (stack inclusion: depth < ways hits).
+func mattsonCurve(cfg Config, h *stackdist.SetAssocHistogram, ways []int) (*analysis.Curve, error) {
+	curve := &analysis.Curve{Name: "mattson"}
+	for i, size := range cfg.Sizes {
+		mr, err := h.MissRatio(ways[i])
+		if err != nil {
+			return nil, err
+		}
+		curve.Points = append(curve.Points, analysis.Point{
+			CacheBytes: size,
+			// No prefetcher in the bare-L3 model: fetches equal misses.
+			FetchRatio: mr,
+			MissRatio:  mr,
+			Trusted:    true,
+			Samples:    1,
+		})
+	}
+	curve.Sort()
+	return curve, nil
+}
+
 // MattsonLRUCurve is the exact single-pass fast path for LRU ByWays
 // sweeps of the L3 in isolation: one replay of tr's line stream
 // through per-set recency stacks (stackdist.SetAssocLRU) yields, by
@@ -28,54 +75,13 @@ import (
 //
 // The machine config supplies the L3 geometry (sets, line size); the
 // policy must be LRU — stack inclusion does not hold for the nehalem,
-// plru or random policies.
+// plru or random policies. MattsonLRUCurveStream is the same pass over
+// a streamed source.
 func MattsonLRUCurve(cfg Config, tr *trace.Trace) (*analysis.Curve, error) {
-	cfg = cfg.withDefaults()
 	if tr.Len() == 0 {
 		return nil, fmt.Errorf("simulate: empty trace")
 	}
-	if cfg.Machine.L3.Policy != cache.LRU {
-		return nil, fmt.Errorf("simulate: Mattson fast path requires the LRU policy (stack inclusion), have %v", cfg.Machine.L3.Policy)
-	}
-	if cfg.Mode != ByWays {
-		return nil, fmt.Errorf("simulate: Mattson fast path requires the ByWays sweep mode")
-	}
-	maxWays := 0
-	ways := make([]int, len(cfg.Sizes))
-	for i, size := range cfg.Sizes {
-		mcfg, err := shrink(cfg.Machine, cfg.Mode, size)
-		if err != nil {
-			return nil, err
-		}
-		if err := mcfg.Validate(); err != nil {
-			return nil, fmt.Errorf("simulate: size %d: %w", size, err)
-		}
-		ways[i] = mcfg.L3.Ways
-		if ways[i] > maxWays {
-			maxWays = ways[i]
-		}
-	}
-	sets := int(cfg.Machine.L3.Sets())
-	lineShift := uint(bits.TrailingZeros64(uint64(cfg.Machine.L3.LineSize)))
-	h, err := stackdist.SetAssocLRU(tr, sets, maxWays, lineShift)
-	if err != nil {
-		return nil, err
-	}
-	curve := &analysis.Curve{Name: "mattson"}
-	for i, size := range cfg.Sizes {
-		mr, err := h.MissRatio(ways[i])
-		if err != nil {
-			return nil, err
-		}
-		curve.Points = append(curve.Points, analysis.Point{
-			CacheBytes: size,
-			// No prefetcher in the bare-L3 model: fetches equal misses.
-			FetchRatio: mr,
-			MissRatio:  mr,
-			Trusted:    true,
-			Samples:    1,
-		})
-	}
-	curve.Sort()
-	return curve, nil
+	return MattsonLRUCurveStream(cfg, func() (trace.BlockSource, error) {
+		return trace.NewReplayer(tr, false), nil
+	})
 }

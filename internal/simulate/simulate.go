@@ -51,6 +51,14 @@ const (
 	// historical path, kept as the oracle the fused engine is checked
 	// against (conformance.CheckSweepEquivalence).
 	EnginePerSize
+	// EngineAnalytic predicts the curve from one SHARDS-sampled
+	// profiling pass (internal/analytic) instead of replaying: O(sample)
+	// time for any number of sizes, O(1) memory on streamed traces.
+	// Unlike the other engines its curve is an estimate — exact only at
+	// sample rate 1.0 on fully-associative geometry; the error bounds
+	// are pinned by conformance.CheckAnalyticEquivalence. Miss and
+	// fetch ratios only (no timing model).
+	EngineAnalytic
 )
 
 // String returns the engine name.
@@ -62,6 +70,8 @@ func (e Engine) String() string {
 		return "fused"
 	case EnginePerSize:
 		return "persize"
+	case EngineAnalytic:
+		return "analytic"
 	}
 	return fmt.Sprintf("engine(%d)", int(e))
 }
@@ -75,10 +85,17 @@ type Config struct {
 	Sizes []int64
 	// Mode selects ways- or sets-based shrinking (default ByWays).
 	Mode SweepMode
-	// Engine selects the sweep engine (default EngineAuto). Every
-	// engine produces bit-identical curves; the choice only trades
-	// speed.
+	// Engine selects the sweep engine (default EngineAuto). The
+	// simulating engines (auto, fused, persize) produce bit-identical
+	// curves — the choice only trades speed; EngineAnalytic trades
+	// accuracy too (sampled estimate, see internal/analytic).
 	Engine Engine
+	// SampleRate is the EngineAnalytic SHARDS sampling rate in (0, 1];
+	// 0 with SampleSize 0 means 1.0 (exact). Ignored by other engines.
+	SampleRate float64
+	// SampleSize, when > 0, runs EngineAnalytic in SHARDS fixed-size
+	// mode: at most this many lines tracked, rate adapting downward.
+	SampleSize int
 	// MLP is the timing hint for the replayed trace (traces carry
 	// none; it does not affect fetch ratios, only CPI).
 	MLP float64
@@ -164,6 +181,9 @@ func Sweep(cfg Config, tr *trace.Trace) (*analysis.Curve, error) {
 // memory (pinned by conformance.CheckStreamEquivalence).
 func SweepStream(cfg Config, open func() (trace.BlockSource, error)) (*analysis.Curve, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Engine == EngineAnalytic {
+		return AnalyticCurveStream(cfg, open)
+	}
 	if cfg.Engine == EngineFused && cfg.Mode != ByWays {
 		return nil, fmt.Errorf("simulate: fused engine requires the ByWays sweep mode")
 	}

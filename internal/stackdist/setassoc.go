@@ -27,43 +27,66 @@ type SetAssocHistogram struct {
 	Total uint64
 }
 
-// SetAssocLRU replays tr's line stream once through per-set LRU
-// recency stacks of depth maxWays and returns the depth histogram.
-// This is the Mattson fast path the fused sweep's LRU cross-check
-// rests on: one pass yields the exact curve for every associativity
-// 1..maxWays, and TestSetAssocLRUMatchesReplicas pins it hit-for-hit
-// against the cache.Replicas kernel the fused engine runs.
-//
-// The set mapping mirrors cache.Cache exactly: the line tag is
+// SetAssocProfiler runs the exact per-set Mattson analysis
+// incrementally: the recency stacks live in one pre-sized contiguous
+// block that is reused across Feed calls (and across traces, via
+// Reset), so the per-record path — the exact pass every analytic
+// estimate is benchmarked against — allocates nothing
+// (TestSetAssocFeedAllocFree gates it with testing.AllocsPerRun).
+type SetAssocProfiler struct {
+	sets      int
+	maxWays   int
+	lineShift uint
+	pow2      bool
+	mask      uint64
+	// stacks[set*maxWays : (set+1)*maxWays] is set's recency stack,
+	// most recent first; depth[set] is how much of it is live.
+	stacks []uint64
+	depth  []int32
+	depths []uint64
+	absent uint64
+	total  uint64
+}
+
+// NewSetAssocProfiler pre-sizes a profiler for the given geometry. The
+// set mapping mirrors cache.Cache exactly: the line tag is
 // addr >> lineShift, and the set index is a mask for power-of-two set
 // counts, a modulo otherwise.
-func SetAssocLRU(tr *trace.Trace, sets, maxWays int, lineShift uint) (*SetAssocHistogram, error) {
+func NewSetAssocProfiler(sets, maxWays int, lineShift uint) (*SetAssocProfiler, error) {
 	if sets <= 0 {
 		return nil, fmt.Errorf("stackdist: non-positive set count %d", sets)
 	}
 	if maxWays <= 0 {
 		return nil, fmt.Errorf("stackdist: non-positive way count %d", maxWays)
 	}
-	h := &SetAssocHistogram{
-		Sets:    sets,
-		MaxWays: maxWays,
-		Depths:  make([]uint64, maxWays),
-	}
-	pow2 := sets&(sets-1) == 0
-	mask := uint64(sets - 1)
-	// One contiguous backing block, stacks[set*maxWays : ...], most
-	// recent first; depth[set] tracks how much of each stack is live.
-	stacks := make([]uint64, sets*maxWays)
-	depth := make([]int, sets)
-	for _, r := range tr.Records {
-		tag := r.Addr >> lineShift
-		si := tag % uint64(sets)
-		if pow2 {
-			si = tag & mask
+	return &SetAssocProfiler{
+		sets:      sets,
+		maxWays:   maxWays,
+		lineShift: lineShift,
+		pow2:      sets&(sets-1) == 0,
+		mask:      uint64(sets - 1),
+		stacks:    make([]uint64, sets*maxWays),
+		depth:     make([]int32, sets),
+		depths:    make([]uint64, maxWays),
+	}, nil
+}
+
+// Feed replays a block of records through the per-set recency stacks.
+// This is the exact-Mattson hot loop: a tag scan over at most maxWays
+// entries plus one stack rotation per record, with zero allocations.
+//
+//lint:hotpath
+func (p *SetAssocProfiler) Feed(blk []trace.Record) {
+	maxWays := p.maxWays
+	for i := range blk {
+		tag := blk[i].Addr >> p.lineShift
+		si := tag % uint64(p.sets)
+		if p.pow2 {
+			si = tag & p.mask
 		}
-		st := stacks[int(si)*maxWays : int(si)*maxWays+maxWays]
-		n := depth[si]
-		h.Total++
+		st := p.stacks[int(si)*maxWays : int(si)*maxWays+maxWays]
+		n := int(p.depth[si])
+		p.total++
 		found := -1
 		for d := 0; d < n; d++ {
 			if st[d] == tag {
@@ -72,19 +95,73 @@ func SetAssocLRU(tr *trace.Trace, sets, maxWays int, lineShift uint) (*SetAssocH
 			}
 		}
 		if found >= 0 {
-			h.Depths[found]++
+			p.depths[found]++
 			copy(st[1:found+1], st[:found])
 		} else {
-			h.Absent++
+			p.absent++
 			if n < maxWays {
-				depth[si] = n + 1
+				p.depth[si] = int32(n + 1)
 				n++
 			}
 			copy(st[1:n], st[:n-1])
 		}
 		st[0] = tag
 	}
-	return h, nil
+}
+
+// FeedSource drains a BlockSource through Feed — the out-of-core exact
+// pass: one streamed replay, O(sets*ways) memory.
+func (p *SetAssocProfiler) FeedSource(src trace.BlockSource) error {
+	for {
+		blk, err := src.NextBlock()
+		if err != nil {
+			return err
+		}
+		if len(blk) == 0 {
+			return nil
+		}
+		p.Feed(blk)
+	}
+}
+
+// Histogram snapshots the depth distribution accumulated so far.
+func (p *SetAssocProfiler) Histogram() *SetAssocHistogram {
+	h := &SetAssocHistogram{
+		Sets:    p.sets,
+		MaxWays: p.maxWays,
+		Depths:  make([]uint64, p.maxWays),
+		Absent:  p.absent,
+		Total:   p.total,
+	}
+	copy(h.Depths, p.depths)
+	return h
+}
+
+// Reset clears the stacks and counters in place, keeping the pooled
+// backing arrays, so one profiler serves many traces.
+func (p *SetAssocProfiler) Reset() {
+	for i := range p.depth {
+		p.depth[i] = 0
+	}
+	for i := range p.depths {
+		p.depths[i] = 0
+	}
+	p.absent, p.total = 0, 0
+}
+
+// SetAssocLRU replays tr's line stream once through per-set LRU
+// recency stacks of depth maxWays and returns the depth histogram.
+// This is the Mattson fast path the fused sweep's LRU cross-check
+// rests on: one pass yields the exact curve for every associativity
+// 1..maxWays, and TestSetAssocLRUMatchesReplicas pins it hit-for-hit
+// against the cache.Replicas kernel the fused engine runs.
+func SetAssocLRU(tr *trace.Trace, sets, maxWays int, lineShift uint) (*SetAssocHistogram, error) {
+	p, err := NewSetAssocProfiler(sets, maxWays, lineShift)
+	if err != nil {
+		return nil, err
+	}
+	p.Feed(tr.Records)
+	return p.Histogram(), nil
 }
 
 // Hits returns the exact demand-hit count of a ways-way, Sets-set LRU

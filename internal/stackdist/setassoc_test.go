@@ -136,6 +136,23 @@ func TestSetAssocLRUMonotone(t *testing.T) {
 	}
 }
 
+// TestSetAssocFeedAllocFree gates the per-set profiling hot loop: after
+// the first warm-up pass has grown every set's stack to its working
+// depth, repeated Feed calls over the same records must not allocate.
+func TestSetAssocFeedAllocFree(t *testing.T) {
+	tr := randTrace(96<<10, 5, 20000)
+	p, err := NewSetAssocProfiler(64, 16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Feed(tr.Records) // warm: pools grow to steady-state depth
+	if allocs := testing.AllocsPerRun(20, func() {
+		p.Feed(tr.Records)
+	}); allocs != 0 {
+		t.Fatalf("SetAssocProfiler.Feed allocated %v times per run on warm pools", allocs)
+	}
+}
+
 // TestSetAssocLRUValidation pins the error shapes.
 func TestSetAssocLRUValidation(t *testing.T) {
 	tr := randTrace(1<<10, 1, 10)
