@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-quick bench-kernel bench-sweep bench-trace bench-analytic vet fmt experiments examples cover fuzz staticcheck lint
+.PHONY: build test test-short bench bench-quick bench-kernel bench-sweep bench-trace bench-analytic bench-service vet fmt experiments examples cover fuzz staticcheck lint
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,13 @@ bench-sweep:
 bench-analytic:
 	$(GO) test -run XXX -bench 'BenchmarkMattsonExact|BenchmarkAnalyticCurve|BenchmarkAnalyticStream' \
 		-benchtime 30x -count 5 -benchmem ./internal/simulate/
+
+# Curve-server saturation: self-host cmd/curved in-process, upload a
+# 600k-record workload, then hammer the warm cache with 8 clients for
+# 20s. Numbers land in BENCH_service.json; the serving floor is
+# >= 100 curves/sec with the cache enabled.
+bench-service:
+	$(GO) run ./cmd/curveload -records 600000 -clients 8 -duration 20s
 
 # Streaming trace pipeline: v2 frame decode (sync, prefetch, sparse
 # corpus), the v1 baseline, whole-trace decode and the encoder.

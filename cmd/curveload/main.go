@@ -1,0 +1,323 @@
+// Command curveload drives a curve server (cmd/curved) to saturation
+// and reports serving throughput and latency percentiles, writing the
+// numbers to BENCH_service.json. With no -url it self-hosts a server
+// in-process on a loopback listener, so `make bench-service` needs no
+// prior setup.
+//
+// The measured phase runs against a warm cache: one request per
+// distinct job key is issued first (reported separately as cold-start
+// latency), then -clients goroutines hammer the same key set for
+// -duration. That matches the service's steady state — the whole point
+// of the result cache + singleflight layer is that the Nth request for
+// a curve costs a map lookup, not a replay.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cachepirate/internal/server"
+	"cachepirate/internal/simulate"
+	"cachepirate/internal/workload"
+)
+
+func main() {
+	var (
+		url        = flag.String("url", "", "curve server base URL (empty = self-host in-process)")
+		wl         = flag.String("workload", "microrand", "workload to capture and upload")
+		records    = flag.Int("records", 600_000, "records in the uploaded trace")
+		clients    = flag.Int("clients", 8, "concurrent load-generator clients")
+		duration   = flag.Duration("duration", 20*time.Second, "measured phase length")
+		engines    = flag.String("engines", "fused,analytic,mattson", "comma-separated engines to request")
+		cacheBytes = flag.Int64("cache-bytes", 64<<20, "self-hosted server result-cache budget")
+		out        = flag.String("o", "BENCH_service.json", "output report path (empty = stdout only)")
+	)
+	flag.Parse()
+	if err := run(*url, *wl, *records, *clients, *duration, *engines, *cacheBytes, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "curveload:", err)
+		os.Exit(1)
+	}
+}
+
+type latencies []time.Duration
+
+func (l latencies) percentile(p float64) time.Duration {
+	if len(l) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(l)-1))
+	return l[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+type report struct {
+	Benchmark string `json:"benchmark"`
+	Command   string `json:"command"`
+	Date      string `json:"date"`
+	Host      struct {
+		Goos   string `json:"goos"`
+		Goarch string `json:"goarch"`
+		CPUs   int    `json:"cpus"`
+	} `json:"host"`
+	Workload struct {
+		Name       string `json:"name"`
+		Records    int    `json:"records"`
+		TraceBytes int    `json:"trace_bytes"`
+		Hash       string `json:"hash"`
+	} `json:"workload"`
+	Config struct {
+		Clients    int      `json:"clients"`
+		DurationS  float64  `json:"duration_s"`
+		Engines    []string `json:"engines"`
+		CacheBytes int64    `json:"cache_bytes"`
+		SelfHosted bool     `json:"self_hosted"`
+	} `json:"config"`
+	ColdStart []coldResult `json:"cold_start"`
+	Results   struct {
+		Requests     int     `json:"requests"`
+		Errors       int     `json:"errors"`
+		CurvesPerSec float64 `json:"curves_per_sec"`
+		P50Ms        float64 `json:"p50_ms"`
+		P99Ms        float64 `json:"p99_ms"`
+		MaxMs        float64 `json:"max_ms"`
+	} `json:"results"`
+	ServerStats json.RawMessage `json:"server_stats"`
+}
+
+type coldResult struct {
+	Engine string  `json:"engine"`
+	Ms     float64 `json:"ms"`
+}
+
+func run(baseURL, wlName string, records, clients int, duration time.Duration, engineList string, cacheBytes int64, out string) error {
+	if _, ok := workload.ByName(wlName); !ok {
+		return fmt.Errorf("unknown workload %q", wlName)
+	}
+
+	selfHosted := baseURL == ""
+	if selfHosted {
+		var stop func()
+		var err error
+		baseURL, stop, err = selfHost(cacheBytes)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+
+	// Capture and upload the benchmark trace.
+	spec := workload.MustByName(wlName)
+	tr := simulate.CaptureTrace(spec.New, 1, 0, records)
+	var buf bytes.Buffer
+	if err := tr.WriteV2(&buf); err != nil {
+		return err
+	}
+	traceBytes := buf.Len()
+	resp, err := http.Post(baseURL+"/v1/traces", "application/octet-stream", &buf)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if err := resp.Body.Close(); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("upload: status %d: %s", resp.StatusCode, body)
+	}
+	var info server.TraceInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return err
+	}
+	log.Printf("uploaded %s: %d records, %d bytes, hash %s", wlName, info.Records, info.Bytes, info.Hash[:12])
+
+	// One query per engine = the distinct job key set.
+	var queries []string
+	var engines []string
+	for _, eng := range strings.Split(engineList, ",") {
+		eng = strings.TrimSpace(eng)
+		if eng == "" {
+			continue
+		}
+		engines = append(engines, eng)
+		q := fmt.Sprintf("%s/v1/curves?trace=%s&engine=%s", baseURL, info.Hash, eng)
+		if eng == "mattson" {
+			q += "&policy=lru"
+		}
+		queries = append(queries, q)
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("no engines requested")
+	}
+
+	// Cold phase: compute each curve once (populates the cache).
+	var cold []coldResult
+	for i, q := range queries {
+		start := time.Now()
+		if err := fetchCurve(q); err != nil {
+			return fmt.Errorf("cold %s: %w", engines[i], err)
+		}
+		cold = append(cold, coldResult{Engine: engines[i], Ms: ms(time.Since(start))})
+		log.Printf("cold %-9s %8.1f ms", engines[i], cold[i].Ms)
+	}
+
+	// Measured phase: clients loop over the key set until the deadline.
+	log.Printf("measuring: %d clients for %v over %d keys", clients, duration, len(queries))
+	deadline := time.Now().Add(duration)
+	perClient := make([]latencies, clients)
+	errCounts := make([]int, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; time.Now().Before(deadline); i++ {
+				q := queries[i%len(queries)]
+				start := time.Now()
+				if err := fetchCurve(q); err != nil {
+					errCounts[c]++
+					continue
+				}
+				perClient[c] = append(perClient[c], time.Since(start))
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var all latencies
+	var errs int
+	for c := range perClient {
+		all = append(all, perClient[c]...)
+		errs += errCounts[c]
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	var rep report
+	rep.Benchmark = "profiling-as-a-service: curve serving throughput and latency at a warm cache"
+	rep.Command = "make bench-service  (go run ./cmd/curveload)"
+	rep.Date = time.Now().Format("2006-01-02")
+	rep.Host.Goos, rep.Host.Goarch, rep.Host.CPUs = runtime.GOOS, runtime.GOARCH, runtime.NumCPU()
+	rep.Workload.Name, rep.Workload.Records = wlName, records
+	rep.Workload.TraceBytes, rep.Workload.Hash = traceBytes, info.Hash
+	rep.Config.Clients, rep.Config.DurationS = clients, duration.Seconds()
+	rep.Config.Engines, rep.Config.CacheBytes, rep.Config.SelfHosted = engines, cacheBytes, selfHosted
+	rep.ColdStart = cold
+	rep.Results.Requests = len(all) + errs
+	rep.Results.Errors = errs
+	rep.Results.CurvesPerSec = float64(len(all)) / duration.Seconds()
+	rep.Results.P50Ms = ms(all.percentile(0.50))
+	rep.Results.P99Ms = ms(all.percentile(0.99))
+	rep.Results.MaxMs = ms(all.percentile(1.0))
+
+	if stats, err := fetchStats(baseURL); err == nil {
+		rep.ServerStats = stats
+	} else {
+		log.Printf("statsz: %v", err)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	fmt.Printf("curves/sec %.1f  p50 %.3f ms  p99 %.3f ms  errors %d\n",
+		rep.Results.CurvesPerSec, rep.Results.P50Ms, rep.Results.P99Ms, errs)
+	if out != "" {
+		if err := os.WriteFile(out, enc, 0o644); err != nil {
+			return err
+		}
+		log.Printf("wrote %s", out)
+	} else {
+		fmt.Print(string(enc))
+	}
+	return nil
+}
+
+// selfHost starts a curve server on a loopback listener with a
+// throwaway store, returning its base URL and a shutdown func.
+func selfHost(cacheBytes int64) (string, func(), error) {
+	dir, err := os.MkdirTemp("", "curveload-store-*")
+	if err != nil {
+		return "", nil, err
+	}
+	store, err := server.NewStore(dir)
+	if err != nil {
+		return "", nil, err
+	}
+	srv, err := server.New(server.Config{Store: store, CacheBytes: cacheBytes})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("self-hosted server: %v", err)
+		}
+	}()
+	stop := func() {
+		_ = httpSrv.Close()
+		srv.Close()
+		if err := os.RemoveAll(dir); err != nil {
+			log.Printf("cleanup: %v", err)
+		}
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// fetchCurve issues one curve request, fully consuming the body (the
+// benchmark measures serving a complete response, and keep-alive needs
+// drained bodies).
+func fetchCurve(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return nil
+}
+
+func fetchStats(baseURL string) (json.RawMessage, error) {
+	resp, err := http.Get(baseURL + "/statsz")
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("statsz: status %d", resp.StatusCode)
+	}
+	return json.RawMessage(body), nil
+}

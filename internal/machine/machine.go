@@ -16,6 +16,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 
 	"cachepirate/internal/cache"
@@ -380,6 +381,40 @@ func (m *Machine) RunInstructions(core int, n uint64) error {
 	for m.cores[core].Instructions() < target {
 		if !m.Step() {
 			return fmt.Errorf("machine: no runnable cores before core %d reached %d instructions", core, target)
+		}
+	}
+	return nil
+}
+
+// cancelCheckSteps is how many machine steps RunInstructionsCtx
+// executes between context checks. Each step retires up to StepChunk
+// instructions, so the check granularity is coarse enough to keep the
+// ctx.Err atomic load out of the per-step cost yet fine enough that a
+// multi-second replay notices a dead client within milliseconds.
+const cancelCheckSteps = 1024
+
+// RunInstructionsCtx is RunInstructions with cooperative cancellation:
+// every cancelCheckSteps steps it polls ctx and abandons the replay
+// with ctx's error once the context is done. A cancelled run leaves
+// the machine in a consistent mid-replay state (counters readable,
+// cores attached); it must simply not be trusted as a completed
+// measurement. With a background context the behaviour — and the
+// simulated state — is identical to RunInstructions.
+func (m *Machine) RunInstructionsCtx(ctx context.Context, core int, n uint64) error {
+	if !m.runnable(core) {
+		return fmt.Errorf("machine: core %d not runnable", core)
+	}
+	target := m.cores[core].Instructions() + n
+	steps := 0
+	for m.cores[core].Instructions() < target {
+		if !m.Step() {
+			return fmt.Errorf("machine: no runnable cores before core %d reached %d instructions", core, target)
+		}
+		if steps++; steps >= cancelCheckSteps {
+			steps = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// entryOverhead is the per-entry byte cost charged on top of key and
+// value: the list element, map bucket share and entry struct. Charging
+// it keeps a cache full of tiny curves from holding unbounded entry
+// count on a byte budget.
+const entryOverhead = 128
+
+// cacheShards is the shard count of the result cache. Shard selection
+// hashes the job key, so concurrent requests for different curves
+// contend on different locks; 16 shards keeps the hot Get path from
+// serialising behind one mutex at high client counts.
+const cacheShards = 16
+
+// CacheStats is a point-in-time snapshot of the result cache, served
+// by /statsz.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Rejected  uint64 `json:"rejected"` // values too large to ever cache
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Budget    int64  `json:"budget_bytes"`
+}
+
+// HitRate returns hits/(hits+misses), 0 when idle.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// resultCache is a sharded, byte-budgeted LRU cache of encoded curve
+// results. The total across shards never exceeds the construction
+// budget: each shard enforces budget/cacheShards, evicting from its
+// own LRU tail, and a value that cannot fit an empty shard is rejected
+// outright. Values are aliased, not copied — callers must treat
+// returned slices as read-only.
+type resultCache struct {
+	shards [cacheShards]cacheShard
+	budget int64
+
+	hits, misses, evictions, rejected atomic.Uint64
+}
+
+type cacheShard struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	ll     *list.List // front = most recent
+	items  map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	val  []byte
+	cost int64
+}
+
+// newResultCache builds a cache holding at most budget bytes across
+// all shards (budget <= 0 disables caching entirely: every Get
+// misses, every Put is rejected).
+func newResultCache(budget int64) *resultCache {
+	c := &resultCache{budget: budget}
+	per := budget / cacheShards
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			budget: per,
+			ll:     list.New(),
+			items:  make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+func (c *resultCache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	// fnv.Write never fails.
+	_, _ = h.Write([]byte(key))
+	return &c.shards[h.Sum32()%cacheShards]
+}
+
+func entryCost(key string, val []byte) int64 {
+	return int64(len(key)) + int64(len(val)) + entryOverhead
+}
+
+// Get returns the cached value for key, marking it most-recently-used.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	var val []byte
+	el, ok := sh.items[key]
+	if ok {
+		sh.ll.MoveToFront(el)
+		// Read val under the lock: a concurrent Put to the same key
+		// swaps the entry's value in place.
+		val = el.Value.(*cacheEntry).val
+	}
+	sh.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return val, true
+}
+
+// Put inserts or refreshes key, evicting least-recently-used entries
+// from its shard until the shard is back under budget. A value whose
+// cost exceeds the shard budget is rejected (never stored), so the
+// byte invariant holds unconditionally.
+func (c *resultCache) Put(key string, val []byte) {
+	cost := entryCost(key, val)
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cost > sh.budget {
+		c.rejected.Add(1)
+		return
+	}
+	if el, ok := sh.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		sh.bytes += cost - ent.cost
+		ent.val, ent.cost = val, cost
+		sh.ll.MoveToFront(el)
+	} else {
+		sh.items[key] = sh.ll.PushFront(&cacheEntry{key: key, val: val, cost: cost})
+		sh.bytes += cost
+	}
+	for sh.bytes > sh.budget {
+		tail := sh.ll.Back()
+		if tail == nil {
+			break
+		}
+		ent := tail.Value.(*cacheEntry)
+		sh.ll.Remove(tail)
+		delete(sh.items, ent.key)
+		sh.bytes -= ent.cost
+		c.evictions.Add(1)
+	}
+}
+
+// Bytes returns the total bytes currently held across shards.
+func (c *resultCache) Bytes() int64 {
+	var total int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		total += sh.bytes
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Len returns the total entry count across shards.
+func (c *resultCache) Len() int {
+	var n int
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the cache counters.
+func (c *resultCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Rejected:  c.rejected.Load(),
+		Entries:   c.Len(),
+		Bytes:     c.Bytes(),
+		Budget:    c.budget,
+	}
+}

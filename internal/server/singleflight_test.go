@@ -1,0 +1,164 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFlightGroupRunsOnce(t *testing.T) {
+	g := newFlightGroup()
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([][]byte, waiters)
+	errs := make([]error, waiters)
+	sharedCount := atomic.Int64{}
+
+	leaderFn := func(ctx context.Context) ([]byte, error) {
+		calls.Add(1)
+		close(started)
+		<-release
+		return []byte("payload"), nil
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], errs[0], _ = g.Do(context.Background(), "k", leaderFn)
+	}()
+	<-started
+
+	for i := 1; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var shared bool
+			results[i], errs[i], shared = g.Do(context.Background(), "k", func(context.Context) ([]byte, error) {
+				t.Error("piggybacker ran fn")
+				return nil, nil
+			})
+			if shared {
+				sharedCount.Add(1)
+			}
+		}(i)
+	}
+	// Wait until every piggybacker has joined the flight, then let the
+	// leader finish.
+	for g.Deduped() < waiters-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Errorf("fn ran %d times, want 1", calls.Load())
+	}
+	if sharedCount.Load() != waiters-1 {
+		t.Errorf("%d calls reported shared, want %d", sharedCount.Load(), waiters-1)
+	}
+	for i := range results {
+		if errs[i] != nil || string(results[i]) != "payload" {
+			t.Errorf("waiter %d got %q, %v", i, results[i], errs[i])
+		}
+	}
+}
+
+func TestFlightGroupSequentialCallsRunSeparately(t *testing.T) {
+	g := newFlightGroup()
+	var calls atomic.Int64
+	for i := 0; i < 3; i++ {
+		_, err, shared := g.Do(context.Background(), "k", func(context.Context) ([]byte, error) {
+			calls.Add(1)
+			return nil, nil
+		})
+		if err != nil || shared {
+			t.Errorf("call %d: err=%v shared=%t", i, err, shared)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Errorf("fn ran %d times, want 3 (flights do not cache)", calls.Load())
+	}
+}
+
+// TestFlightGroupWaiterCancelKeepsFlightAlive: one impatient waiter
+// leaving must not cancel the flight for the waiter still interested.
+func TestFlightGroupWaiterCancelKeepsFlightAlive(t *testing.T) {
+	g := newFlightGroup()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fnCtxErr := make(chan error, 1)
+
+	patient := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(context.Background(), "k", func(ctx context.Context) ([]byte, error) {
+			close(started)
+			<-release
+			fnCtxErr <- ctx.Err()
+			return nil, nil
+		})
+		patient <- err
+	}()
+	<-started
+
+	impatientCtx, cancelImpatient := context.WithCancel(context.Background())
+	impatient := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(impatientCtx, "k", func(context.Context) ([]byte, error) {
+			t.Error("piggybacker ran fn")
+			return nil, nil
+		})
+		impatient <- err
+	}()
+	for g.Deduped() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancelImpatient()
+	if err := <-impatient; !errors.Is(err, context.Canceled) {
+		t.Fatalf("impatient waiter got %v, want context.Canceled", err)
+	}
+
+	close(release)
+	if err := <-patient; err != nil {
+		t.Fatalf("patient waiter got %v, want nil", err)
+	}
+	if err := <-fnCtxErr; err != nil {
+		t.Errorf("flight ctx was %v at completion, want live (patient waiter remained)", err)
+	}
+}
+
+// TestFlightGroupAllWaitersGoneCancelsFlight: once the last waiter
+// abandons the flight, the flight context must be cancelled so the
+// underlying replay stops burning CPU.
+func TestFlightGroupAllWaitersGoneCancelsFlight(t *testing.T) {
+	g := newFlightGroup()
+	started := make(chan struct{})
+	flightCancelled := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(ctx, "k", func(fctx context.Context) ([]byte, error) {
+			close(started)
+			<-fctx.Done()
+			close(flightCancelled)
+			return nil, fctx.Err()
+		})
+		got <- err
+	}()
+	<-started
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning waiter got %v, want context.Canceled", err)
+	}
+	select {
+	case <-flightCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flight context was never cancelled after the last waiter left")
+	}
+}

@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -75,7 +76,14 @@ func analyticSampleConfig(cfg Config, maxLines int) stackdist.SampledConfig {
 // with per-point sampling error bars. This is the full-information
 // form; AnalyticCurve/AnalyticCurveStream adapt it to the
 // analysis.Curve shape the rest of the pipeline consumes.
-func AnalyticEstimate(cfg Config, open func() (trace.BlockSource, error)) (est *analytic.CurveEstimate, err error) {
+func AnalyticEstimate(cfg Config, open func() (trace.BlockSource, error)) (*analytic.CurveEstimate, error) {
+	return AnalyticEstimateContext(context.Background(), cfg, open)
+}
+
+// AnalyticEstimateContext is AnalyticEstimate under a context: the
+// profiling pass polls ctx at block granularity and aborts with its
+// error once the context is done.
+func AnalyticEstimateContext(ctx context.Context, cfg Config, open func() (trace.BlockSource, error)) (est *analytic.CurveEstimate, err error) {
 	cfg = cfg.withDefaults()
 	grid, maxLines, err := analyticGrid(cfg)
 	if err != nil {
@@ -86,7 +94,7 @@ func AnalyticEstimate(cfg Config, open func() (trace.BlockSource, error)) (est *
 		return nil, err
 	}
 	defer closeSource(src, &err)
-	prof, err := analytic.ProfileSource(src, analyticSampleConfig(cfg, maxLines))
+	prof, err := analytic.ProfileSource(withContext(ctx, src), analyticSampleConfig(cfg, maxLines))
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +109,13 @@ func AnalyticEstimate(cfg Config, open func() (trace.BlockSource, error)) (est *
 // misses and CPI/bandwidth stay zero). Error bars survive in the
 // CurveEstimate — use AnalyticEstimate when they matter.
 func AnalyticCurveStream(cfg Config, open func() (trace.BlockSource, error)) (*analysis.Curve, error) {
-	est, err := AnalyticEstimate(cfg, open)
+	return AnalyticCurveStreamContext(context.Background(), cfg, open)
+}
+
+// AnalyticCurveStreamContext is AnalyticCurveStream under a context
+// (see AnalyticEstimateContext for the cancellation contract).
+func AnalyticCurveStreamContext(ctx context.Context, cfg Config, open func() (trace.BlockSource, error)) (*analysis.Curve, error) {
+	est, err := AnalyticEstimateContext(ctx, cfg, open)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +148,14 @@ func AnalyticCurve(cfg Config, tr *trace.Trace) (*analysis.Curve, error) {
 // profiler (stackdist.SetAssocProfiler), so multi-GB traces stream
 // through in O(sets*ways) memory. Same restrictions as the in-memory
 // form: LRU policy, ByWays mode.
-func MattsonLRUCurveStream(cfg Config, open func() (trace.BlockSource, error)) (curve *analysis.Curve, err error) {
+func MattsonLRUCurveStream(cfg Config, open func() (trace.BlockSource, error)) (*analysis.Curve, error) {
+	return MattsonLRUCurveStreamContext(context.Background(), cfg, open)
+}
+
+// MattsonLRUCurveStreamContext is MattsonLRUCurveStream under a
+// context: the profiling pass polls ctx at block granularity and
+// aborts with its error once the context is done.
+func MattsonLRUCurveStreamContext(ctx context.Context, cfg Config, open func() (trace.BlockSource, error)) (curve *analysis.Curve, err error) {
 	cfg = cfg.withDefaults()
 	ways, sets, lineShift, err := mattsonGeometry(cfg)
 	if err != nil {
@@ -155,7 +176,7 @@ func MattsonLRUCurveStream(cfg Config, open func() (trace.BlockSource, error)) (
 		return nil, err
 	}
 	defer closeSource(src, &err)
-	if err := p.FeedSource(src); err != nil {
+	if err := p.FeedSource(withContext(ctx, src)); err != nil {
 		return nil, err
 	}
 	h := p.Histogram()

@@ -1,0 +1,32 @@
+package simulate
+
+import (
+	"context"
+
+	"cachepirate/internal/trace"
+)
+
+// ctxSource threads cooperative cancellation into a block stream: each
+// NextBlock polls the context before delegating, so single-pass
+// consumers (the Mattson and analytic profilers) abandon a replay at
+// block granularity once their job's deadline passes. The wrapper is
+// applied inside the function that opened — and will close — the
+// underlying source, so resource ownership stays with the raw source.
+type ctxSource struct {
+	ctx context.Context
+	src trace.BlockSource
+}
+
+func (s ctxSource) NextBlock() ([]trace.Record, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.src.NextBlock()
+}
+
+func (s ctxSource) Rewind() error          { return s.src.Rewind() }
+func (s ctxSource) NumRecords() int64      { return s.src.NumRecords() }
+func (s ctxSource) NumInstructions() int64 { return s.src.NumInstructions() }
+func withContext(ctx context.Context, src trace.BlockSource) trace.BlockSource {
+	return ctxSource{ctx: ctx, src: src}
+}

@@ -129,7 +129,7 @@ func newFusedEngine(cfg Config, ways []int) (*fusedEngine, error) {
 // interact and each sees the same record order regardless of
 // chunking), so a streamed source is bit-identical to an in-memory
 // replayer.
-func (e *fusedEngine) run(src trace.BlockSource) error {
+func (e *fusedEngine) run(ctx context.Context, src trace.BlockSource) error {
 	var total int64
 	for pass := 0; pass <= e.warm; pass++ {
 		if err := src.Rewind(); err != nil {
@@ -153,6 +153,13 @@ func (e *fusedEngine) run(src trace.BlockSource) error {
 				total += int64(n)
 			}
 			for lo := 0; lo < n; lo += fusedBlock {
+				// One poll per fusedBlock round (256 records across
+				// every replica): the cancellation point that lets a
+				// curve job's deadline abandon an in-memory replay,
+				// whose source yields the whole trace as one block.
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				hi := lo + fusedBlock
 				if hi > n {
 					hi = n
@@ -304,7 +311,7 @@ func (e *fusedEngine) sample(k int) counters.Sample {
 // each chunk's replicas through one shared replay of its own
 // independently opened source. Replicas never interact, so the
 // partition width cannot change any point.
-func sweepFusedStream(cfg Config, open func() (trace.BlockSource, error)) (*analysis.Curve, error) {
+func sweepFusedStream(ctx context.Context, cfg Config, open func() (trace.BlockSource, error)) (*analysis.Curve, error) {
 	ways := make([]int, len(cfg.Sizes))
 	for i, size := range cfg.Sizes {
 		mcfg, err := shrink(cfg.Machine, cfg.Mode, size)
@@ -318,11 +325,11 @@ func sweepFusedStream(cfg Config, open func() (trace.BlockSource, error)) (*anal
 	}
 	pool := runner.Pool{Workers: cfg.Workers}
 	chunks := pool.EffectiveWorkers(len(cfg.Sizes))
-	chunkPoints, err := runner.Map(context.Background(), pool, chunks,
-		func(_ context.Context, c int) ([]analysis.Point, error) {
+	chunkPoints, err := runner.Map(ctx, pool, chunks,
+		func(ctx context.Context, c int) ([]analysis.Point, error) {
 			lo := c * len(cfg.Sizes) / chunks
 			hi := (c + 1) * len(cfg.Sizes) / chunks
-			return fusedPoints(cfg, open, cfg.Sizes[lo:hi], ways[lo:hi])
+			return fusedPoints(ctx, cfg, open, cfg.Sizes[lo:hi], ways[lo:hi])
 		})
 	if err != nil {
 		return nil, err
@@ -338,7 +345,7 @@ func sweepFusedStream(cfg Config, open func() (trace.BlockSource, error)) (*anal
 
 // fusedPoints simulates one chunk of sizes through one fused replay
 // of its own source and assembles their curve points.
-func fusedPoints(cfg Config, open func() (trace.BlockSource, error), sizes []int64, ways []int) (pts []analysis.Point, err error) {
+func fusedPoints(ctx context.Context, cfg Config, open func() (trace.BlockSource, error), sizes []int64, ways []int) (pts []analysis.Point, err error) {
 	e, err := newFusedEngine(cfg, ways)
 	if err != nil {
 		return nil, err
@@ -348,7 +355,7 @@ func fusedPoints(cfg Config, open func() (trace.BlockSource, error), sizes []int
 		return nil, err
 	}
 	defer closeSource(src, &err)
-	if err := e.run(src); err != nil {
+	if err := e.run(ctx, src); err != nil {
 		return nil, err
 	}
 	points := make([]analysis.Point, len(sizes))

@@ -159,10 +159,21 @@ func shrink(mcfg machine.Config, mode SweepMode, size int64) (machine.Config, er
 // machine per size; both engines produce bit-identical curves at any
 // worker count, with points collected in size order.
 func Sweep(cfg Config, tr *trace.Trace) (*analysis.Curve, error) {
+	return SweepContext(context.Background(), cfg, tr)
+}
+
+// SweepContext is Sweep with cooperative cancellation: once ctx is
+// done, in-flight replays abandon their machines at the next
+// cancellation point (machine.RunInstructionsCtx on the per-size path,
+// a per-chunk poll on the fused path, a per-block poll on the
+// analytic path) and the sweep returns ctx's error. A sweep run under
+// a live context produces bit-identical curves to Sweep — the context
+// is only ever read, never woven into simulated state.
+func SweepContext(ctx context.Context, cfg Config, tr *trace.Trace) (*analysis.Curve, error) {
 	if tr.Len() == 0 {
 		return nil, fmt.Errorf("simulate: empty trace")
 	}
-	return SweepStream(cfg, func() (trace.BlockSource, error) {
+	return SweepStreamContext(ctx, cfg, func() (trace.BlockSource, error) {
 		return trace.NewReplayer(tr, false), nil
 	})
 }
@@ -180,15 +191,21 @@ func Sweep(cfg Config, tr *trace.Trace) (*analysis.Curve, error) {
 // curves are bit-identical to Sweep over the same records held in
 // memory (pinned by conformance.CheckStreamEquivalence).
 func SweepStream(cfg Config, open func() (trace.BlockSource, error)) (*analysis.Curve, error) {
+	return SweepStreamContext(context.Background(), cfg, open)
+}
+
+// SweepStreamContext is SweepStream under a context (see SweepContext
+// for the cancellation contract).
+func SweepStreamContext(ctx context.Context, cfg Config, open func() (trace.BlockSource, error)) (*analysis.Curve, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Engine == EngineAnalytic {
-		return AnalyticCurveStream(cfg, open)
+		return AnalyticCurveStreamContext(ctx, cfg, open)
 	}
 	if cfg.Engine == EngineFused && cfg.Mode != ByWays {
 		return nil, fmt.Errorf("simulate: fused engine requires the ByWays sweep mode")
 	}
 	if cfg.Engine == EngineFused || (cfg.Engine == EngineAuto && cfg.Mode == ByWays) {
-		return sweepFusedStream(cfg, open)
+		return sweepFusedStream(ctx, cfg, open)
 	}
 	records, passInstrs, err := sourceStats(open)
 	if err != nil {
@@ -197,9 +214,9 @@ func SweepStream(cfg Config, open func() (trace.BlockSource, error)) (*analysis.
 	if records == 0 {
 		return nil, fmt.Errorf("simulate: empty trace")
 	}
-	points, err := runner.Map(context.Background(), runner.Pool{Workers: cfg.Workers}, len(cfg.Sizes),
-		func(_ context.Context, i int) (analysis.Point, error) {
-			return sweepPoint(cfg, open, cfg.Sizes[i], passInstrs)
+	points, err := runner.Map(ctx, runner.Pool{Workers: cfg.Workers}, len(cfg.Sizes),
+		func(ctx context.Context, i int) (analysis.Point, error) {
+			return sweepPoint(ctx, cfg, open, cfg.Sizes[i], passInstrs)
 		})
 	if err != nil {
 		return nil, err
@@ -253,7 +270,10 @@ func sourceStats(open func() (trace.BlockSource, error)) (records int64, passIns
 
 // sweepPoint simulates one cache size on a fresh machine over its own
 // independently opened source; concurrent sweep points share nothing.
-func sweepPoint(cfg Config, open func() (trace.BlockSource, error), size int64, passInstrs uint64) (pt analysis.Point, err error) {
+// The context cancels mid-replay via machine.RunInstructionsCtx — the
+// fix for slow jobs outliving their clients (the curve server's
+// per-job deadline reaches the innermost step loop through here).
+func sweepPoint(ctx context.Context, cfg Config, open func() (trace.BlockSource, error), size int64, passInstrs uint64) (pt analysis.Point, err error) {
 	mcfg, err := shrink(cfg.Machine, cfg.Mode, size)
 	if err != nil {
 		return analysis.Point{}, err
@@ -271,13 +291,13 @@ func sweepPoint(cfg Config, open func() (trace.BlockSource, error), size int64, 
 		return analysis.Point{}, err
 	}
 	for w := 0; w < cfg.WarmPasses; w++ {
-		if err := m.RunInstructions(0, passInstrs); err != nil {
+		if err := m.RunInstructionsCtx(ctx, 0, passInstrs); err != nil {
 			return analysis.Point{}, err
 		}
 	}
 	pmu := counters.NewPMU(m)
 	pmu.MarkAll()
-	if err := m.RunInstructions(0, passInstrs); err != nil {
+	if err := m.RunInstructionsCtx(ctx, 0, passInstrs); err != nil {
 		return analysis.Point{}, err
 	}
 	s := pmu.ReadInterval(0)
