@@ -268,6 +268,7 @@ func selfHost(cacheBytes int64) (string, func(), error) {
 		return "", nil, err
 	}
 	httpSrv := &http.Server{Handler: srv}
+	//lint:ignore leakcheck Serve returns when the stop closure below calls httpSrv.Close; the join edge lives outside the goroutine body
 	go func() {
 		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			log.Printf("self-hosted server: %v", err)

@@ -6,30 +6,45 @@
 //
 //	go run ./cmd/lint ./...
 //	go run ./cmd/lint -a detrand,hotalloc ./internal/cache
+//	go run ./cmd/lint -benchjson BENCH_lint.json ./...
 //
-// The four analyzers (see DESIGN.md §10):
+// The seven analyzers (see DESIGN.md §10 and §15):
 //
 //	detrand        nondeterminism in simulation packages
 //	hotalloc       allocation in //lint:hotpath functions
 //	counterpair    counter writes violating conservation identities
-//	errcheckdomain dropped trace/report/conformance errors, raw float equality
+//	errcheckdomain dropped trace/report/conformance and response-write
+//	               errors, unguarded float equality
+//	lockguard      struct-field accesses without the inferred sibling mutex
+//	ctxpoll        broken context chains on HTTP request paths
+//	leakcheck      unjoinable goroutines, Closers not closed on all paths
+//
+// All packages load into one whole-program index (internal/lint/
+// analysis.Program) before any analyzer runs, so cross-package
+// analyses — the handler-to-engine reachability in ctxpoll, the
+// no-return facts the CFG builder consumes — see every edge.
 //
 // Findings are suppressed per line with `//lint:ignore <analyzer>
 // <justification>`; the justification is mandatory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cachepirate/internal/lint/analysis"
 	"cachepirate/internal/lint/counterpair"
+	"cachepirate/internal/lint/ctxpoll"
 	"cachepirate/internal/lint/detrand"
 	"cachepirate/internal/lint/errcheckdomain"
 	"cachepirate/internal/lint/hotalloc"
+	"cachepirate/internal/lint/leakcheck"
 	"cachepirate/internal/lint/load"
+	"cachepirate/internal/lint/lockguard"
 )
 
 var all = []*analysis.Analyzer{
@@ -37,12 +52,27 @@ var all = []*analysis.Analyzer{
 	hotalloc.Analyzer,
 	counterpair.Analyzer,
 	errcheckdomain.Analyzer,
+	lockguard.Analyzer,
+	ctxpoll.Analyzer,
+	leakcheck.Analyzer,
+}
+
+// benchResult is the BENCH_lint.json shape consumed by CI: how fast
+// the whole suite runs and that the tree is clean.
+type benchResult struct {
+	Packages       int     `json:"packages"`
+	Analyzers      int     `json:"analyzers"`
+	LoadSeconds    float64 `json:"load_seconds"`
+	AnalyzeSeconds float64 `json:"analyze_seconds"`
+	PackagesPerSec float64 `json:"packages_per_sec"`
+	Diagnostics    int     `json:"diagnostics"`
 }
 
 func main() {
 	names := flag.String("a", "", "comma-separated analyzers to run (default: all)")
+	benchjson := flag.String("benchjson", "", "write a BENCH_lint.json timing record to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lint [-a analyzers] packages...\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: lint [-a analyzers] [-benchjson file] packages...\n\nanalyzers:\n")
 		for _, a := range all {
 			fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
 		}
@@ -72,16 +102,20 @@ func main() {
 		}
 	}
 
-	targets, err := load.Packages(".", flag.Args()...)
+	loadStart := time.Now()
+	prog, err := load.Program(".", flag.Args()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lint:", err)
 		os.Exit(1)
 	}
+	loadTime := time.Since(loadStart)
 
+	analyzeStart := time.Now()
 	found := 0
-	for _, t := range targets {
+	for ti := range prog.Targets {
+		t := &prog.Targets[ti]
 		for _, a := range analyzers {
-			diags, err := analysis.Run(t, a)
+			diags, err := analysis.RunProgram(prog, t, a)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "lint:", err)
 				os.Exit(1)
@@ -92,6 +126,31 @@ func main() {
 			}
 		}
 	}
+	analyzeTime := time.Since(analyzeStart)
+
+	if *benchjson != "" {
+		res := benchResult{
+			Packages:       len(prog.Targets),
+			Analyzers:      len(analyzers),
+			LoadSeconds:    loadTime.Seconds(),
+			AnalyzeSeconds: analyzeTime.Seconds(),
+			Diagnostics:    found,
+		}
+		if total := loadTime + analyzeTime; total > 0 {
+			res.PackagesPerSec = float64(len(prog.Targets)) / total.Seconds()
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lint:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*benchjson, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "lint:", err)
+			os.Exit(1)
+		}
+	}
+
 	if found > 0 {
 		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", found)
 		os.Exit(1)

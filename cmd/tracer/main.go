@@ -180,6 +180,9 @@ func info(args []string) {
 				instrs += int64(rec.NInstr) + 1
 			}
 		}
+		if err := r.Close(); err != nil {
+			fatal(err)
+		}
 		fmt.Printf("  check:         OK — %d records, %d instructions, checksums verified\n", recs, instrs)
 	}
 

@@ -64,6 +64,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Prog is the whole-program index over every loaded target; the
+	// cross-package analyzers (ctxpoll, leakcheck) and the shared call
+	// graph are built on it. Run always populates it — a single-target
+	// run just gets a single-target program.
+	Prog *Program
+
 	diags      []Diagnostic
 	suppressed map[suppressKey]bool
 }
@@ -76,8 +82,19 @@ type suppressKey struct {
 var ignoreRE = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+\S`)
 
 // Run executes one analyzer over one target and returns its surviving
-// (non-suppressed) diagnostics in file/line order.
+// (non-suppressed) diagnostics in file/line order. The target gets a
+// private single-target Program; drivers with many targets build one
+// shared Program and use RunProgram so cross-package edges resolve.
 func Run(t Target, a *Analyzer) ([]Diagnostic, error) {
+	prog := NewProgram([]Target{t})
+	return RunProgram(prog, &prog.Targets[0], a)
+}
+
+// RunProgram executes one analyzer over one target of a loaded
+// program. Suppression comments are honored program-wide, because a
+// cross-package analyzer may report at positions outside the current
+// target's files.
+func RunProgram(prog *Program, t *Target, a *Analyzer) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer:   a,
 		PkgPath:    t.PkgPath,
@@ -85,17 +102,21 @@ func Run(t Target, a *Analyzer) ([]Diagnostic, error) {
 		Files:      t.Files,
 		Pkg:        t.Pkg,
 		TypesInfo:  t.TypesInfo,
+		Prog:       prog,
 		suppressed: map[suppressKey]bool{},
 	}
-	for _, f := range t.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := ignoreRE.FindStringSubmatch(c.Text)
-				if m == nil || (m[1] != a.Name && m[1] != "*") {
-					continue
+	for ti := range prog.Targets {
+		pt := &prog.Targets[ti]
+		for _, f := range pt.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := ignoreRE.FindStringSubmatch(c.Text)
+					if m == nil || (m[1] != a.Name && m[1] != "*") {
+						continue
+					}
+					p := pt.Fset.Position(c.Pos())
+					pass.suppressed[suppressKey{p.Filename, p.Line}] = true
 				}
-				p := t.Fset.Position(c.Pos())
-				pass.suppressed[suppressKey{p.Filename, p.Line}] = true
 			}
 		}
 	}

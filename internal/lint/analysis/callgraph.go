@@ -1,3 +1,9 @@
+// Same-package call-graph helpers, now thin views over the
+// cross-package Program index (program.go). hotalloc and counterpair
+// reason about one package at a time — hot-path membership and counter
+// identities both stop at package boundaries by design — so these
+// helpers filter the program graph down to the pass's own declared,
+// non-test functions.
 package analysis
 
 import (
@@ -10,62 +16,43 @@ import (
 // declarations in _test.go files.
 func (p *Pass) FuncDecls(skipTests bool) map[*types.Func]*ast.FuncDecl {
 	decls := map[*types.Func]*ast.FuncDecl{}
-	for _, f := range p.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if skipTests && p.InTestFile(fd.Pos()) {
-				continue
-			}
-			if fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				decls[fn] = fd
-			}
+	for _, pf := range p.Prog.Funcs {
+		if pf.Target.PkgPath != p.PkgPath {
+			continue
 		}
+		if skipTests && pf.InTest {
+			continue
+		}
+		decls[pf.Fn] = pf.Decl
 	}
 	return decls
 }
 
 // Callees returns the functions of this package that fd's body
-// references statically: direct calls (f(), x.m()) and method-value
-// references (h := x.m), the two edges over which properties like
-// hot-path membership propagate. Interface methods and other-package
-// functions resolve to nil objects or miss the decls map and are
-// dropped.
+// references statically: direct calls (f(), x.m()), method-value
+// references (h := x.m) and functions used as values (f passed as a
+// callback) — the edges over which properties like hot-path membership
+// propagate. The edges come from the program index; other-package and
+// interface callees miss the decls map and are dropped.
 func (p *Pass) Callees(fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) []*types.Func {
-	var out []*types.Func
-	seen := map[*types.Func]bool{}
-	add := func(fn *types.Func) {
-		if fn == nil || seen[fn] {
-			return
-		}
-		if _, ok := decls[fn]; !ok {
-			return
-		}
-		seen[fn] = true
-		out = append(out, fn)
+	fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
 	}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			add(p.FuncFor(n.Fun))
-		case *ast.SelectorExpr:
-			// Method value (x.m not in call position): the selection
-			// records a MethodVal; calls are caught above, and adding
-			// them twice is harmless because of the seen set.
-			if sel, ok := p.TypesInfo.Selections[n]; ok && sel.Kind() == types.MethodVal {
-				add(p.FuncFor(n))
-			}
-		case *ast.Ident:
-			// A package-level function used as a value (f passed as a
-			// callback) keeps its referent reachable too.
-			if fn, ok := p.TypesInfo.Uses[n].(*types.Func); ok {
-				add(fn)
-			}
+	pf, ok := p.Prog.Funcs[fn.FullName()]
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	for _, name := range pf.Callees {
+		callee, ok := p.Prog.Funcs[name]
+		if !ok || callee.Target.PkgPath != p.PkgPath {
+			continue
 		}
-		return true
-	})
+		if _, ok := decls[callee.Fn]; ok {
+			out = append(out, callee.Fn)
+		}
+	}
 	return out
 }
 

@@ -1,0 +1,408 @@
+// Control-flow graphs for the dataflow analyzers. NewCFG lowers one
+// function body into basic blocks connected by successor edges —
+// deliberately lightweight (statement granularity, no SSA): the
+// analyzers built on it (lockguard, leakcheck, the errcheckdomain
+// float guard) track coarse facts like "this mutex is held" or "this
+// file is still open", for which statement order inside a block plus
+// branch structure between blocks is exactly enough.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: nodes that execute in order with no
+// branching between them. Nodes holds statements and, for blocks that
+// end in a conditional branch, the branch condition as its last entry.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+
+	// Cond, when non-nil, is an if/for condition ending this block:
+	// Succs[0] is the true edge and Succs[1] (if present) the false
+	// edge. Edge-sensitive transfers (leakcheck's err-nil refinement)
+	// key off it; everything else can ignore it.
+	Cond ast.Expr
+}
+
+// CFG is the control-flow graph of one function body. Entry is
+// Blocks[0]; Exit is a synthetic empty block reached by every return
+// statement and by falling off the end of the body. Panics and calls
+// to no-return functions (os.Exit, log.Fatal) terminate their block
+// without an Exit edge: facts on those paths never reach Exit, which
+// is the behaviour resource-lifecycle checks want (a leak on a path
+// that kills the process is not a leak).
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// NewCFG builds the graph for body. noReturn, when non-nil, reports
+// whether a call never returns (beyond the builtin panic, which is
+// always recognized); Program.NoReturn is the usual implementation.
+func NewCFG(body *ast.BlockStmt, noReturn func(*ast.CallExpr) bool) *CFG {
+	b := &builder{
+		cfg:      &CFG{},
+		noReturn: noReturn,
+		labels:   map[string]*Block{},
+	}
+	b.cfg.Exit = b.newBlock() // Index 0 temporarily; fixed below
+	b.cur = b.newBlock()
+	b.cfg.Entry = b.cur
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.link(b.cur, b.cfg.Exit)
+	}
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.link(g.from, target)
+		} else {
+			// Unresolvable (malformed source): be conservative.
+			b.link(g.from, b.cfg.Exit)
+		}
+	}
+	// Present Entry first and Exit last for readability.
+	blocks := b.cfg.Blocks[1:] // drop Exit's initial slot...
+	blocks = append(blocks, b.cfg.Exit)
+	b.cfg.Blocks = blocks
+	for i, blk := range blocks {
+		blk.Index = i
+	}
+	return b.cfg
+}
+
+type loopFrame struct {
+	label      string // "" for unlabeled
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	cfg      *CFG
+	cur      *Block // nil after a terminator; restarted lazily
+	noReturn func(*ast.CallExpr) bool
+	frames   []loopFrame
+	labels   map[string]*Block
+	gotos    []pendingGoto
+	// pendingLabel is set between a labeled statement and the loop or
+	// switch that consumes it.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) link(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// block returns the current block, starting an unreachable fresh one
+// after a terminator (dead code still gets parsed into blocks; it has
+// no predecessors, so dataflow skips it).
+func (b *builder) block() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	blk := b.block()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// Land the label on a fresh block so goto/labeled continue have
+		// a target, then let the labeled statement consume the name.
+		target := b.newBlock()
+		if cur := b.cur; cur != nil {
+			b.link(cur, target)
+		}
+		b.cur = target
+		b.labels[s.Label.Name] = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.block()
+		cond.Cond = s.Cond
+
+		then := b.newBlock()
+		b.link(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		thenEnd := b.cur
+
+		var elseEnd *Block
+		hasElse := s.Else != nil
+		if hasElse {
+			elseB := b.newBlock()
+			b.link(cond, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+
+		after := b.newBlock()
+		if !hasElse {
+			b.link(cond, after)
+		}
+		if thenEnd != nil {
+			b.link(thenEnd, after)
+		}
+		if elseEnd != nil {
+			b.link(elseEnd, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.link(b.block(), head)
+		b.cur = head
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.add(s.Cond)
+			head.Cond = s.Cond
+		}
+		body := b.newBlock()
+		b.link(head, body)
+		if s.Cond != nil {
+			b.link(head, after)
+		}
+		continueTo := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			b.cur = post
+			b.stmt(s.Post)
+			b.link(b.cur, head)
+			continueTo = post
+		}
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: after, continueTo: continueTo})
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.link(b.cur, continueTo)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		head := b.newBlock()
+		cur := b.block()
+		// Only the ranged expression belongs to the pre-loop block; the
+		// body gets its own blocks (adding the whole RangeStmt here
+		// would replay body statements with pre-loop facts).
+		b.add2(cur, s.X)
+		b.link(cur, head)
+		after := b.newBlock()
+		body := b.newBlock()
+		b.link(head, body)
+		b.link(head, after)
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: after, continueTo: head})
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.link(b.cur, head)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(label, s.Body.List, func(cc ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			c := cc.(*ast.CaseClause)
+			var exprs []ast.Node
+			for _, e := range c.List {
+				exprs = append(exprs, e)
+			}
+			return exprs, c.Body, c.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(label, s.Body.List, func(cc ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			c := cc.(*ast.CaseClause)
+			var exprs []ast.Node
+			for _, e := range c.List {
+				exprs = append(exprs, e)
+			}
+			return exprs, c.Body, c.List == nil
+		})
+
+	case *ast.SelectStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		b.caseClauses(label, s.Body.List, func(cc ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			c := cc.(*ast.CommClause)
+			var comm []ast.Node
+			if c.Comm != nil {
+				comm = append(comm, c.Comm)
+			}
+			return comm, c.Body, c.Comm == nil
+		})
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.link(b.block(), b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.frame(s.Label, false); f != nil {
+				b.link(b.block(), f.breakTo)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if f := b.frame(s.Label, true); f != nil {
+				b.link(b.block(), f.continueTo)
+			}
+			b.cur = nil
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.block(), label: s.Label.Name})
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled structurally by caseClauses; nothing to record.
+		}
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := Unparen(s.X).(*ast.CallExpr); ok && b.terminates(call) {
+			b.cur = nil
+		}
+
+	case *ast.DeferStmt, *ast.GoStmt, *ast.SendStmt, *ast.IncDecStmt,
+		*ast.AssignStmt, *ast.DeclStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	default:
+		if s != nil {
+			b.add(s)
+		}
+	}
+}
+
+// add2 appends n to a specific block (used where the current block was
+// already captured).
+func (b *builder) add2(blk *Block, n ast.Node) {
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+// caseClauses lowers switch/type-switch/select bodies: every clause
+// block branches from the head, fallthrough chains to the next clause,
+// and a missing default adds a head→after edge.
+func (b *builder) caseClauses(label string, clauses []ast.Stmt, split func(ast.Stmt) ([]ast.Node, []ast.Stmt, bool)) {
+	head := b.block()
+	after := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after})
+
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		b.link(head, blocks[i])
+	}
+	hasDefault := false
+	for i, cc := range clauses {
+		exprs, body, isDefault := split(cc)
+		if isDefault {
+			hasDefault = true
+		}
+		b.cur = blocks[i]
+		for _, e := range exprs {
+			b.add(e)
+		}
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				body = body[:n-1]
+			}
+		}
+		b.stmtList(body)
+		if b.cur != nil {
+			if fallsThrough && i+1 < len(clauses) {
+				b.link(b.cur, blocks[i+1])
+			} else {
+				b.link(b.cur, after)
+			}
+		}
+	}
+	if !hasDefault {
+		b.link(head, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// frame resolves the loop/switch frame a break or continue targets.
+func (b *builder) frame(label *ast.Ident, needContinue bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needContinue && f.continueTo == nil {
+			continue // break-only frame (switch/select)
+		}
+		if label == nil || f.label == label.Name {
+			return f
+		}
+	}
+	return nil
+}
+
+// terminates reports whether a statement-position call never returns:
+// the builtin panic, or whatever the caller's noReturn predicate says
+// (os.Exit, log.Fatal, program functions ending in one of those).
+func (b *builder) terminates(call *ast.CallExpr) bool {
+	if id, ok := Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		return true
+	}
+	return b.noReturn != nil && b.noReturn(call)
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a single function's body for CFG construction.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+func TestCFGShape(t *testing.T) {
+	body := parseBody(t, `func f(b bool) int {
+	x := 1
+	if b {
+		x = 2
+	} else {
+		x = 3
+	}
+	for i := 0; i < x; i++ {
+		x++
+	}
+	return x
+}`)
+	cfg := NewCFG(body, nil)
+
+	if cfg.Entry != cfg.Blocks[0] {
+		t.Errorf("Entry is not Blocks[0]")
+	}
+	if cfg.Exit != cfg.Blocks[len(cfg.Blocks)-1] {
+		t.Errorf("Exit is not the last block")
+	}
+	if len(cfg.Exit.Succs) != 0 {
+		t.Errorf("Exit has successors: %d", len(cfg.Exit.Succs))
+	}
+	if len(cfg.Exit.Preds) == 0 {
+		t.Errorf("Exit unreachable: return edge missing")
+	}
+	for i, blk := range cfg.Blocks {
+		if blk.Index != i {
+			t.Errorf("block %d has Index %d", i, blk.Index)
+		}
+		for _, s := range blk.Succs {
+			found := false
+			for _, p := range s.Preds {
+				if p == blk {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("succ edge %d->%d missing back edge", blk.Index, s.Index)
+			}
+		}
+	}
+	// The if condition block must carry Cond with two successors.
+	condBlocks := 0
+	for _, blk := range cfg.Blocks {
+		if blk.Cond != nil && len(blk.Succs) == 2 {
+			condBlocks++
+		}
+	}
+	if condBlocks < 2 { // if cond + for cond
+		t.Errorf("expected >=2 two-way conditional blocks, got %d", condBlocks)
+	}
+}
+
+func TestCFGNoReturnTerminates(t *testing.T) {
+	body := parseBody(t, `func f(b bool) {
+	if b {
+		panic("boom")
+	}
+	g()
+}`)
+	cfg := NewCFG(body, nil)
+	// The panic block must not reach Exit: its only route ends there.
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if len(blk.Succs) != 0 {
+					t.Errorf("panic block has %d successors, want 0", len(blk.Succs))
+				}
+			}
+		}
+	}
+}
+
+// TestFlowMustJoin checks the lock-shaped analysis: a fact generated on
+// only one branch is dropped at the merge under a must join, and kept
+// under a may join.
+func TestFlowMustJoin(t *testing.T) {
+	body := parseBody(t, `func f(b bool) {
+	if b {
+		lock()
+	}
+	use()
+}`)
+	for _, must := range []bool{true, false} {
+		cfg := NewCFG(body, nil)
+		var atUse []string
+		flow := &Flow{
+			CFG:  cfg,
+			Must: must,
+			Transfer: func(n ast.Node, facts FactSet) {
+				es, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return
+				}
+				call, ok := es.X.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "lock" {
+					facts["held"] = true
+				}
+			},
+		}
+		in := flow.Solve()
+		for _, blk := range cfg.Blocks {
+			if in[blk.Index] == nil {
+				continue
+			}
+			flow.Replay(blk, in[blk.Index], func(n ast.Node, facts FactSet) {
+				es, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return
+				}
+				call, ok := es.X.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "use" && facts["held"] {
+					atUse = append(atUse, "held")
+				}
+			})
+		}
+		if must && len(atUse) != 0 {
+			t.Errorf("must join: fact survived a one-branch gen")
+		}
+		if !must && len(atUse) == 0 {
+			t.Errorf("may join: fact lost despite one-branch gen")
+		}
+	}
+}

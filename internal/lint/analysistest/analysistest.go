@@ -34,11 +34,16 @@ import (
 // want comments as test errors.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
 	t.Helper()
-	tgt, err := loadFixture(dir, pkgpath)
+	tgt, deps, err := loadFixture(dir, pkgpath)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", pkgpath, err)
 	}
-	diags, err := analysis.Run(tgt, a)
+	// The program spans the fixture package and its fixture-local
+	// dependencies, so cross-package analyzers see the same
+	// whole-program view the real driver builds.
+	prog := analysis.NewProgram(append(deps, tgt))
+	main := &prog.Targets[len(prog.Targets)-1]
+	diags, err := analysis.RunProgram(prog, main, a)
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
 	}
@@ -124,12 +129,13 @@ func checkDiagnostics(t *testing.T, diags []analysis.Diagnostic, wants []*want) 
 }
 
 // loadFixture type-checks the fixture package and its fixture-local
-// dependencies from source.
-func loadFixture(dir, pkgpath string) (analysis.Target, error) {
+// dependencies from source, returning the main target and the
+// dependency targets.
+func loadFixture(dir, pkgpath string) (analysis.Target, []analysis.Target, error) {
 	fset := token.NewFileSet()
 	abs, err := filepath.Abs(dir)
 	if err != nil {
-		return analysis.Target{}, err
+		return analysis.Target{}, nil, err
 	}
 	imp := &fixtureImporter{
 		root:     filepath.Join(abs, "src"),
@@ -137,7 +143,11 @@ func loadFixture(dir, pkgpath string) (analysis.Target, error) {
 		fallback: load.NewImporter(fset, "."),
 		pkgs:     map[string]*types.Package{},
 	}
-	return imp.load(pkgpath, true)
+	tgt, err := imp.load(pkgpath, true)
+	if err != nil {
+		return analysis.Target{}, nil, err
+	}
+	return tgt, imp.deps, nil
 }
 
 // fixtureImporter loads testdata/src packages from source, falling
@@ -148,6 +158,7 @@ type fixtureImporter struct {
 	fset     *token.FileSet
 	fallback types.Importer
 	pkgs     map[string]*types.Package
+	deps     []analysis.Target // fixture-local packages loaded as imports
 }
 
 func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
@@ -161,6 +172,7 @@ func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	fi.deps = append(fi.deps, tgt)
 	return tgt.Pkg, nil
 }
 

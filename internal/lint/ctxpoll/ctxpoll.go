@@ -1,0 +1,185 @@
+// Package ctxpoll defines an analyzer that enforces context threading
+// on request paths. The curve server's whole reason to exist is
+// bounded-latency profiling under load; a handler that reaches a
+// polling or replay loop which cannot observe cancellation keeps
+// burning CPU for a client that hung up. The rule: every function
+// reachable from an HTTP handler must thread the request context —
+// no fresh context.Background()/TODO() roots, no calls to a
+// context-free function when a ctx-aware sibling (F → FContext/FCtx)
+// exists, and no context parameter that a function accepts but never
+// uses (cancellation silently stops propagating there).
+//
+// Reachability comes from the cross-package program call graph:
+// handlers are recognized by signature (w http.ResponseWriter,
+// r *http.Request), and the reachable set — including calls through
+// func-typed struct fields like the server's pluggable compute hook —
+// is computed once and shared across packages as a program fact, so
+// the check follows a request from internal/server through
+// internal/runner into the replay engines.
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cachepirate/internal/lint/analysis"
+)
+
+// Analyzer flags request-reachable code that breaks the context chain.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc: "flags context.Background/TODO, ctx-free calls with context-aware " +
+		"siblings, and unused ctx params in code reachable from HTTP handlers",
+	Run: run,
+}
+
+const reachFact = "ctxpoll.request-reachable"
+
+func run(pass *analysis.Pass) error {
+	reachable := pass.Prog.Fact(reachFact, requestReachable)
+	for _, pf := range pass.Prog.Funcs {
+		if pf.Target.PkgPath != pass.PkgPath || pf.InTest || !reachable[pf.Name] {
+			continue
+		}
+		checkFunc(pass, pf)
+	}
+	return nil
+}
+
+// requestReachable computes the program fact: every function reachable
+// from an HTTP-handler-shaped root over call, func-value and
+// func-field edges.
+func requestReachable(p *analysis.Program) map[string]bool {
+	var roots []string
+	for name, pf := range p.Funcs {
+		if !pf.InTest && isHandlerSig(pf.Fn) {
+			roots = append(roots, name)
+		}
+	}
+	return p.ReachFrom(roots)
+}
+
+// isHandlerSig reports the http.HandlerFunc shape:
+// func(http.ResponseWriter, *http.Request).
+func isHandlerSig(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 2 {
+		return false
+	}
+	return types.TypeString(sig.Params().At(0).Type(), nil) == "net/http.ResponseWriter" &&
+		types.TypeString(sig.Params().At(1).Type(), nil) == "*net/http.Request"
+}
+
+// checkFunc applies the three context rules to one request-reachable
+// function.
+func checkFunc(pass *analysis.Pass, pf *analysis.ProgFunc) {
+	info := pf.Target.TypesInfo
+	checkUnusedCtxParams(pass, pf)
+	ast.Inspect(pf.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcFor(info, call.Fun)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+			pass.Reportf(call.Pos(),
+				"context.%s() on a request path detaches it from the request; thread the caller's ctx",
+				fn.Name())
+			return true
+		}
+		if hasCtxParam(fn) {
+			return true
+		}
+		if sib := ctxSibling(fn); sib != "" {
+			pass.Reportf(call.Pos(),
+				"%s ignores cancellation but has a context-aware sibling; call %s with the request ctx",
+				fn.Name(), sib)
+		}
+		return true
+	})
+}
+
+// checkUnusedCtxParams reports context.Context parameters the body
+// never reads — the point where cancellation stops propagating.
+func checkUnusedCtxParams(pass *analysis.Pass, pf *analysis.ProgFunc) {
+	info := pf.Target.TypesInfo
+	for _, field := range pf.Decl.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := info.Defs[name]
+			if obj == nil || types.TypeString(obj.Type(), nil) != "context.Context" {
+				continue
+			}
+			used := false
+			ast.Inspect(pf.Decl.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+					used = true
+				}
+				return !used
+			})
+			if !used {
+				pass.Reportf(name.Pos(),
+					"context parameter %s is unused on a request path; cancellation stops propagating here",
+					name.Name)
+			}
+		}
+	}
+}
+
+// hasCtxParam reports whether fn takes a context.Context anywhere in
+// its parameter list.
+func hasCtxParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if types.TypeString(sig.Params().At(i).Type(), nil) == "context.Context" {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxSibling looks for a context-aware variant of a ctx-free function:
+// F → FContext or FCtx, as a package-level function or a method on the
+// same receiver. The lookup works through export data too, so calls
+// into already-compiled packages still resolve their siblings.
+func ctxSibling(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	for _, suffix := range []string{"Context", "Ctx"} {
+		name := fn.Name() + suffix
+		var cand types.Object
+		if recv := sig.Recv(); recv != nil {
+			cand, _, _ = types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), name)
+		} else {
+			cand = fn.Pkg().Scope().Lookup(name)
+		}
+		if sibFn, ok := cand.(*types.Func); ok && hasCtxParam(sibFn) {
+			return name
+		}
+	}
+	return ""
+}
+
+// funcFor resolves the called *types.Func, or nil for builtins,
+// conversions and dynamic calls.
+func funcFor(info *types.Info, e ast.Expr) *types.Func {
+	switch e := analysis.Unparen(e).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

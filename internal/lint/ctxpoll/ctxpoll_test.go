@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"cachepirate/internal/lint/analysistest"
+	"cachepirate/internal/lint/ctxpoll"
+)
+
+func TestRequestPaths(t *testing.T) {
+	analysistest.Run(t, "../testdata", ctxpoll.Analyzer, "ctxpoll")
+}

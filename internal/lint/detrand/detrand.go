@@ -5,6 +5,11 @@
 // unordered map iteration, ad-hoc goroutines and sync.Map all break
 // that contract silently, so they are banned at lint time in the
 // packages that compute simulated state.
+//
+// The check is deliberately syntactic (no CFG or call graph): a banned
+// construct is a finding wherever it appears, reachable or not. The
+// flow-sensitive end of the suite — goroutine join edges, lock
+// domination — lives in leakcheck and lockguard (DESIGN.md §15).
 package detrand
 
 import (

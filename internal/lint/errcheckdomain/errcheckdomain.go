@@ -11,7 +11,17 @@
 //     ratios, CPIs and slowdowns are NaN-able (0/0 intervals before
 //     the MetricErrors hardening); x == y and x != y are silently
 //     false/true for NaN, so comparisons must either guard with
-//     math.IsNaN or compare against an explicit tolerance.
+//     math.IsNaN or compare against an explicit tolerance. The guard
+//     check is flow-sensitive: it runs a must-dataflow over the
+//     function's CFG, so the IsNaN/IsInf call has to dominate the
+//     comparison — a guard on another path (or after the compare)
+//     no longer launders it.
+//
+//  3. Dropped response-write errors in the HTTP server packages
+//     (ServerDomains). A failed json.Encoder.Encode or
+//     ResponseWriter.Write means the client got a truncated body;
+//     silently discarding the error hides broken responses from the
+//     serving metrics, so it must be counted or handled.
 //
 // Test files are exempt: tests drop errors and pin exact float
 // constants deliberately.
@@ -21,6 +31,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strconv"
 	"strings"
 
 	"cachepirate/internal/lint/analysis"
@@ -32,6 +43,13 @@ var Domains = []string{
 	"internal/trace",
 	"internal/report",
 	"internal/conformance",
+}
+
+// ServerDomains lists the import-path fragments where dropped
+// response-write errors (json.Encoder.Encode, ResponseWriter.Write,
+// fmt.Fprint* to a ResponseWriter) are flagged.
+var ServerDomains = []string{
+	"internal/server",
 }
 
 // Analyzer flags dropped domain errors and unguarded float equality.
@@ -107,7 +125,45 @@ func domainError(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 func checkDropped(pass *analysis.Pass, call *ast.CallExpr) {
 	if name, ok := domainError(pass, call); ok {
 		pass.Reportf(call.Pos(), "error from %s is dropped; trace/report/conformance errors must be handled", name)
+		return
 	}
+	if name, ok := serverWriteError(pass, call); ok {
+		pass.Reportf(call.Pos(), "response write error from %s is dropped; count the failure or handle it", name)
+	}
+}
+
+// serverWriteError reports whether call is a response write whose
+// error matters in the server packages: Encode on a json.Encoder,
+// Write on an http.ResponseWriter, or fmt.Fprint* targeting one.
+func serverWriteError(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	if !pass.PathMatches(ServerDomains) {
+		return "", false
+	}
+	fn := pass.FuncFor(call.Fun)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	switch {
+	case fn.Name() == "Encode" && fn.Pkg().Path() == "encoding/json":
+		return "json.Encoder.Encode", true
+	case fn.Name() == "Write":
+		if sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+			isResponseWriter(pass.TypesInfo.TypeOf(sel.X)) {
+			return "ResponseWriter.Write", true
+		}
+	case fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint"):
+		if len(call.Args) > 0 && isResponseWriter(pass.TypesInfo.TypeOf(call.Args[0])) {
+			return "fmt." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// isResponseWriter reports whether t is the net/http.ResponseWriter
+// interface itself (concrete writers wrapping one are the caller's
+// own API and out of scope).
+func isResponseWriter(t types.Type) bool {
+	return t != nil && types.TypeString(t, nil) == "net/http.ResponseWriter"
 }
 
 // checkBlankError flags assignments that discard a domain call's error
@@ -121,57 +177,87 @@ func checkBlankError(pass *analysis.Pass, as *ast.AssignStmt) {
 	if !ok {
 		return
 	}
-	name, ok := domainError(pass, call)
-	if !ok {
-		return
-	}
 	// The error is the last result; it maps to the last LHS.
 	last := as.Lhs[len(as.Lhs)-1]
-	if id, ok := last.(*ast.Ident); ok && id.Name == "_" {
+	id, isIdent := last.(*ast.Ident)
+	if !isIdent || id.Name != "_" {
+		return
+	}
+	if name, ok := domainError(pass, call); ok {
 		pass.Reportf(as.Pos(), "error from %s is assigned to _; trace/report/conformance errors must be handled", name)
+		return
+	}
+	if name, ok := serverWriteError(pass, call); ok {
+		pass.Reportf(as.Pos(), "response write error from %s is assigned to _; count the failure or handle it", name)
 	}
 }
 
 // checkFloatEquality flags == and != between non-constant float
-// operands inside fn, unless the function guards either operand with
-// math.IsNaN.
+// operands inside fn, unless a math.IsNaN/IsInf guard on either
+// operand dominates the comparison. The check is a must-dataflow over
+// the function's CFG: a guard generates a fact on its operand objects,
+// and the fact reaches a comparison only if every path to it passes
+// through the guard — flow-sensitive where the old version accepted a
+// guard anywhere in the function body.
 func checkFloatEquality(pass *analysis.Pass, fn *ast.FuncDecl) {
-	guarded := map[types.Object]bool{}
-	anyGuard := false
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if f := pass.FuncFor(call.Fun); f != nil && f.Pkg() != nil &&
-			f.Pkg().Path() == "math" && (f.Name() == "IsNaN" || f.Name() == "IsInf") {
-			anyGuard = true
-			for _, arg := range call.Args {
-				if obj := operandObj(pass, arg); obj != nil {
-					guarded[obj] = true
+	cfg := analysis.NewCFG(fn.Body, func(call *ast.CallExpr) bool {
+		return pass.Prog.NoReturn(pass.TypesInfo, call)
+	})
+	flow := &analysis.Flow{
+		CFG:  cfg,
+		Must: true,
+		Transfer: func(n ast.Node, facts analysis.FactSet) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
 				}
-			}
-		}
-		return true
-	})
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		be, ok := n.(*ast.BinaryExpr)
-		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
-			return true
-		}
-		if !isNonConstFloat(pass, be.X) || !isNonConstFloat(pass, be.Y) {
-			return true
-		}
-		if anyGuard {
-			// Either operand (or its source) being NaN-checked in this
-			// function is accepted as a guard.
-			if xo, yo := operandObj(pass, be.X), operandObj(pass, be.Y); (xo != nil && guarded[xo]) || (yo != nil && guarded[yo]) {
+				if f := pass.FuncFor(call.Fun); f != nil && f.Pkg() != nil &&
+					f.Pkg().Path() == "math" && (f.Name() == "IsNaN" || f.Name() == "IsInf") {
+					for _, arg := range call.Args {
+						if obj := operandObj(pass, arg); obj != nil {
+							facts[guardFact(obj)] = true
+						}
+					}
+				}
 				return true
-			}
+			})
+		},
+	}
+	in := flow.Solve()
+	for _, blk := range cfg.Blocks {
+		if in[blk.Index] == nil {
+			continue // unreachable
 		}
-		pass.Reportf(be.Pos(), "float64 %s comparison on NaN-able metrics; guard with math.IsNaN or compare against a tolerance", be.Op)
-		return true
-	})
+		flow.Replay(blk, in[blk.Index], func(n ast.Node, facts analysis.FactSet) {
+			// A guard inside the same statement as the comparison
+			// (if !math.IsNaN(a) && a == b) counts too: apply this
+			// node's own gen before checking.
+			local := facts.Clone()
+			flow.Transfer(n, local)
+			facts = local
+			ast.Inspect(n, func(m ast.Node) bool {
+				be, ok := m.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isNonConstFloat(pass, be.X) || !isNonConstFloat(pass, be.Y) {
+					return true
+				}
+				xo, yo := operandObj(pass, be.X), operandObj(pass, be.Y)
+				if (xo != nil && facts[guardFact(xo)]) || (yo != nil && facts[guardFact(yo)]) {
+					return true
+				}
+				pass.Reportf(be.Pos(), "float64 %s comparison on NaN-able metrics; guard with math.IsNaN or compare against a tolerance", be.Op)
+				return true
+			})
+		})
+	}
+}
+
+// guardFact keys a NaN-guard fact to a specific variable object.
+func guardFact(obj types.Object) string {
+	return "nan:" + obj.Name() + "@" + strconv.Itoa(int(obj.Pos()))
 }
 
 // operandObj resolves the variable object behind a comparison operand

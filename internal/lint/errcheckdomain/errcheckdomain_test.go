@@ -10,3 +10,7 @@ import (
 func TestDomainErrorsAndFloats(t *testing.T) {
 	analysistest.Run(t, "../testdata", errcheckdomain.Analyzer, "errcheckdomain")
 }
+
+func TestServerWrites(t *testing.T) {
+	analysistest.Run(t, "../testdata", errcheckdomain.Analyzer, "errcheckdomain/internal/server")
+}

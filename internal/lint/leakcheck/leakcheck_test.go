@@ -1,0 +1,12 @@
+package leakcheck_test
+
+import (
+	"testing"
+
+	"cachepirate/internal/lint/analysistest"
+	"cachepirate/internal/lint/leakcheck"
+)
+
+func TestLifetimes(t *testing.T) {
+	analysistest.Run(t, "../testdata", leakcheck.Analyzer, "leakcheck")
+}

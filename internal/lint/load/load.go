@@ -79,6 +79,20 @@ func Packages(dir string, patterns ...string) ([]analysis.Target, error) {
 	return targets, nil
 }
 
+// Program loads patterns like Packages and builds the cross-package
+// index over them — the whole-program view (call graph, exported
+// facts) the dataflow analyzers consume. Loading every package through
+// one call is what lets facts computed in one package (a handler in
+// internal/server is a request root) reach the analyses of another
+// (the replay loop in internal/simulate it calls into).
+func Program(dir string, patterns ...string) (*analysis.Program, error) {
+	targets, err := Packages(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.NewProgram(targets), nil
+}
+
 // check parses and type-checks one package's files.
 func check(fset *token.FileSet, imp types.Importer, path, dir string, files []string) (analysis.Target, error) {
 	var syntax []*ast.File

@@ -1,0 +1,369 @@
+// Package lockguard defines an analyzer that infers mutex guards for
+// struct fields and enforces them on every path. The inference rule is
+// the one most Go code implicitly follows: a struct that carries a
+// sync.Mutex/RWMutex field alongside its data fields locks that mutex
+// around every access to those fields. If some access site holds the
+// sibling mutex and another does not, the unlocked site is a data race
+// waiting for the scheduler to expose it — exactly the unlocked LRU
+// value read PR 8's -race stress suite caught at runtime in the curve
+// server's sharded cache. This analyzer finds that bug class
+// statically, at lint time.
+//
+// Mechanics: for every function a CFG is built and a must-dataflow
+// pass tracks which "base.mutex" locks are held at each statement
+// (Lock/RLock gen, Unlock/RUnlock kill, deferred unlocks keep the lock
+// held to function end). An access to field base.f whose owner struct
+// has a mutex sibling is recorded together with whether any sibling
+// lock on the same base was held. A field with at least one held
+// access anywhere in the package becomes guarded; every unheld access
+// to a guarded field is then reported.
+//
+// Exemptions: accesses through freshly constructed values (x :=
+// &T{...}, new(T), or T{} — not yet shared, the constructor pattern),
+// fields of self-synchronizing types (channels, sync.*, sync/atomic.*)
+// and test files.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"cachepirate/internal/lint/analysis"
+)
+
+// Analyzer flags struct-field accesses that skip the field's inferred
+// mutex guard.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "flags struct-field accesses without the sibling mutex other access " +
+		"sites hold (guard inference over a per-function CFG dataflow)",
+	Run: run,
+}
+
+// access is one recorded field access.
+type access struct {
+	fieldKey string // "pkg.Struct.field"
+	pos      ast.Node
+	held     bool   // a sibling lock on the same base was held here
+	fresh    bool   // base is a freshly constructed local (constructor)
+	base     string // rendered base expression, for the diagnostic
+	mutexes  []string
+}
+
+func run(pass *analysis.Pass) error {
+	var accesses []access
+	held := map[string]int{} // fieldKey -> held-access count
+	for _, pf := range pass.Prog.Funcs {
+		if pf.Target.PkgPath != pass.PkgPath || pf.InTest {
+			continue
+		}
+		for _, unit := range analysisUnits(pf.Decl) {
+			for _, a := range collectAccesses(pass, unit) {
+				if a.held {
+					held[a.fieldKey]++
+				}
+				accesses = append(accesses, a)
+			}
+		}
+	}
+	for _, a := range accesses {
+		if a.held || a.fresh || held[a.fieldKey] == 0 {
+			continue
+		}
+		field := a.fieldKey[strings.LastIndexByte(a.fieldKey, '.')+1:]
+		sort.Strings(a.mutexes)
+		pass.Reportf(a.pos.Pos(),
+			"%s.%s is accessed without holding %s (%d other access site(s) hold the lock)",
+			a.base, field, strings.Join(a.mutexes, "/"), held[a.fieldKey])
+	}
+	return nil
+}
+
+// analysisUnits splits a declaration into independently analyzed
+// bodies: the function itself and each function literal it contains.
+// A closure runs at an unknown time with unknown locks held, so it is
+// judged from an empty lock set, like a function of its own.
+func analysisUnits(fd *ast.FuncDecl) []*ast.BlockStmt {
+	units := []*ast.BlockStmt{fd.Body}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			units = append(units, lit.Body)
+		}
+		return true
+	})
+	return units
+}
+
+// collectAccesses runs the held-locks dataflow over one body and
+// records every sibling-guarded field access with its lock state.
+func collectAccesses(pass *analysis.Pass, body *ast.BlockStmt) []access {
+	cfg := analysis.NewCFG(body, func(call *ast.CallExpr) bool {
+		return pass.Prog.NoReturn(pass.TypesInfo, call)
+	})
+	fresh := freshLocals(pass, body)
+	flow := &analysis.Flow{
+		CFG:      cfg,
+		Must:     true,
+		Transfer: func(n ast.Node, facts analysis.FactSet) { transferLocks(pass, n, facts) },
+	}
+	in := flow.Solve()
+
+	var out []access
+	for _, blk := range cfg.Blocks {
+		entry := in[blk.Index]
+		if entry == nil {
+			continue // unreachable
+		}
+		flow.Replay(blk, entry, func(n ast.Node, facts analysis.FactSet) {
+			walkShallow(n, func(sel *ast.SelectorExpr) {
+				a, ok := classifyAccess(pass, sel)
+				if !ok {
+					return
+				}
+				for _, m := range a.mutexes {
+					if facts["held:"+a.base+"."+m] {
+						a.held = true
+					}
+				}
+				a.fresh = fresh[baseObj(pass, sel.X)]
+				out = append(out, a)
+			})
+		})
+	}
+	return out
+}
+
+// transferLocks applies one CFG node to the held-lock set: mu.Lock and
+// mu.RLock gen "held:<base>.<mutex>", mu.Unlock and mu.RUnlock kill
+// it. A deferred unlock is skipped entirely — the lock stays held to
+// the end of the function, which is what the defer means. Function
+// literals are skipped too; they are separate analysis units.
+func transferLocks(pass *analysis.Pass, n ast.Node, facts analysis.FactSet) {
+	walkShallowCalls(n, func(call *ast.CallExpr, deferred bool) {
+		sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		method := sel.Sel.Name
+		var gen bool
+		switch method {
+		case "Lock", "RLock":
+			gen = true
+		case "Unlock", "RUnlock":
+			gen = false
+		default:
+			return
+		}
+		key, ok := lockKey(pass, sel.X)
+		if !ok {
+			return
+		}
+		if gen {
+			facts["held:"+key] = true
+		} else if !deferred {
+			delete(facts, "held:"+key)
+		}
+	})
+}
+
+// lockKey renders a mutex-field expression ("sh.mu", "s.mu") as a lock
+// identity. Only selector-shaped mutexes are tracked: a local mutex
+// variable guards locals the analyzer does not reason about.
+func lockKey(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	sel, ok := analysis.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() || !isMutex(v.Type()) {
+		return "", false
+	}
+	return types.ExprString(sel.X) + "." + sel.Sel.Name, true
+}
+
+// classifyAccess decides whether sel is an access to a data field
+// whose owner struct carries mutex siblings, and builds the access
+// record (held is filled in by the caller from the flow facts).
+func classifyAccess(pass *analysis.Pass, sel *ast.SelectorExpr) (access, bool) {
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() || excludedFieldType(v.Type()) {
+		return access{}, false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return access{}, false
+	}
+	named := namedOf(selection.Recv())
+	if named == nil {
+		return access{}, false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return access{}, false
+	}
+	var mutexes []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isMutex(f.Type()) {
+			mutexes = append(mutexes, f.Name())
+		}
+	}
+	if len(mutexes) == 0 {
+		return access{}, false
+	}
+	obj := named.Obj()
+	key := obj.Name() + "." + v.Name()
+	if obj.Pkg() != nil {
+		key = obj.Pkg().Path() + "." + key
+	}
+	return access{
+		fieldKey: key,
+		pos:      sel,
+		base:     types.ExprString(sel.X),
+		mutexes:  mutexes,
+	}, true
+}
+
+// freshLocals returns the objects of local variables initialized from
+// a composite literal, &composite, or new(T)/make(T) — values no other
+// goroutine can observe yet, so their fields are accessed lock-free by
+// construction (the constructor pattern).
+func freshLocals(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			rhs := analysis.Unparen(as.Rhs[i])
+			if u, ok := rhs.(*ast.UnaryExpr); ok {
+				rhs = analysis.Unparen(u.X)
+			}
+			switch r := rhs.(type) {
+			case *ast.CompositeLit:
+				out[obj] = true
+			case *ast.CallExpr:
+				if id, ok := analysis.Unparen(r.Fun).(*ast.Ident); ok {
+					if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok &&
+						(b.Name() == "new" || b.Name() == "make") {
+						out[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// baseObj resolves the root identifier object of an access base
+// expression (sh in sh.items, c in c.shards[i].x), or nil.
+func baseObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := analysis.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isMutex reports whether t is sync.Mutex, sync.RWMutex, or a pointer
+// to one.
+func isMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
+}
+
+// excludedFieldType reports field types with synchronization of their
+// own, which must not become guard-inference candidates: channels,
+// everything in sync and sync/atomic (WaitGroup, Once, the atomic
+// value types), and mutexes themselves.
+func excludedFieldType(t types.Type) bool {
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	p := n.Obj().Pkg().Path()
+	return p == "sync" || p == "sync/atomic"
+}
+
+// namedOf strips pointers down to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// walkShallow visits selector expressions in n without descending into
+// function literals (separate analysis units).
+func walkShallow(n ast.Node, visit func(*ast.SelectorExpr)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectorExpr:
+			visit(m)
+		}
+		return true
+	})
+}
+
+// walkShallowCalls visits call expressions in n without descending
+// into function literals, tagging calls that sit under a defer.
+func walkShallowCalls(n ast.Node, visit func(call *ast.CallExpr, deferred bool)) {
+	deferred := false
+	if d, ok := n.(*ast.DeferStmt); ok {
+		deferred = true
+		n = d.Call
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			visit(m, deferred)
+		}
+		return true
+	})
+}

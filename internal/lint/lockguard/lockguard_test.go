@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"cachepirate/internal/lint/analysistest"
+	"cachepirate/internal/lint/lockguard"
+)
+
+func TestGuardInference(t *testing.T) {
+	analysistest.Run(t, "../testdata", lockguard.Analyzer, "lockguard")
+}

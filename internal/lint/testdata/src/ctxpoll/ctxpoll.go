@@ -1,0 +1,57 @@
+// Fixture for the ctxpoll analyzer: request paths (anything reachable
+// from a handler-shaped function) must thread the request context.
+package ctxpoll
+
+import (
+	"context"
+	"net/http"
+
+	"ctxpoll/engine"
+)
+
+func handle(w http.ResponseWriter, r *http.Request) {
+	compute(r.Context())
+	_ = ignored(r.Context(), 1)
+	w.WriteHeader(http.StatusOK)
+}
+
+func compute(ctx context.Context) {
+	detach()
+	_ = engine.Sweep(10)             // want `Sweep ignores cancellation but has a context-aware sibling; call SweepContext`
+	_ = engine.SweepContext(ctx, 10) // threads ctx: not flagged
+	e := &Engine{}
+	_ = e.Run(5) // want `Run ignores cancellation but has a context-aware sibling; call RunCtx`
+}
+
+func detach() {
+	ctx := context.Background() // want `context\.Background\(\) on a request path detaches it from the request`
+	_ = ctx
+}
+
+// ignored accepts a context it never reads: cancellation dead-ends.
+func ignored(ctx context.Context, n int) int { // want `context parameter ctx is unused on a request path`
+	return n + 1
+}
+
+type Engine struct{}
+
+func (e *Engine) Run(n int) int { return n }
+
+func (e *Engine) RunCtx(ctx context.Context, n int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+	}
+	return n
+}
+
+// offline is not reachable from any handler; a fresh root here is the
+// normal way to start background work.
+func offline() {
+	ctx := context.Background()
+	_ = engine.Sweep(3)
+	_ = ctx
+}
+
+var _ = offline

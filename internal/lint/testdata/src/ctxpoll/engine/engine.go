@@ -1,0 +1,27 @@
+// Fixture dependency for ctxpoll: a polling engine with a ctx-free
+// entry point and its context-aware sibling, mirroring the repo's
+// Sweep/SweepContext pairs.
+package engine
+
+import "context"
+
+func Sweep(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+func SweepContext(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return total
+		default:
+		}
+		total += i
+	}
+	return total
+}

@@ -48,3 +48,29 @@ func RatioGuarded(a, b float64) bool {
 func Tolerance(a, b float64) bool {
 	return math.Abs(a-b) < 1e-9
 }
+
+// GuardTooLate NaN-checks only after comparing: the flow-sensitive
+// check requires the guard to dominate the comparison.
+func GuardTooLate(a, b float64) bool {
+	eq := a == b // want "float64 == comparison on NaN-able metrics"
+	if math.IsNaN(a) {
+		return false
+	}
+	return eq
+}
+
+// GuardOneBranch guards on a single path; the must-join drops the
+// fact at the merge, so the comparison is still flagged.
+func GuardOneBranch(a, b float64, strict bool) bool {
+	if strict {
+		if math.IsNaN(a) {
+			return false
+		}
+	}
+	return a == b // want "float64 == comparison on NaN-able metrics"
+}
+
+// GuardSameStmt guards within the comparison expression itself.
+func GuardSameStmt(a, b float64) bool {
+	return !math.IsNaN(a) && a == b
+}

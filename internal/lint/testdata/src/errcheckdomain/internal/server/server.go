@@ -1,0 +1,36 @@
+// Fixture for the server-write half of errcheckdomain: this package's
+// import path contains internal/server, so dropped response-write
+// errors are flagged.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+func dropped(w http.ResponseWriter, v any) {
+	_ = json.NewEncoder(w).Encode(v)  // want "response write error from json.Encoder.Encode is assigned to _"
+	_, _ = w.Write([]byte("payload")) // want "response write error from ResponseWriter.Write is assigned to _"
+	fmt.Fprintln(w, "ok")             // want "response write error from fmt.Fprintln is dropped"
+}
+
+// counted is the accepted shape: the failure feeds a metric.
+func counted(w http.ResponseWriter, v any, failures *int) {
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		*failures++
+	}
+	if _, err := w.Write([]byte("payload")); err != nil {
+		*failures++
+	}
+}
+
+// otherWriter shows the scope: Write on a non-ResponseWriter (here a
+// local buffer type) is not a response write.
+type buffer struct{}
+
+func (buffer) Write(p []byte) (int, error) { return len(p), nil }
+
+func elsewhere(b buffer) {
+	_, _ = b.Write([]byte("x"))
+}

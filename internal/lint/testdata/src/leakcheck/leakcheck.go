@@ -1,0 +1,117 @@
+// Fixture for the leakcheck analyzer: goroutine join/cancel edges and
+// Closers closed on every CFG path.
+package leakcheck
+
+import (
+	"os"
+	"sync"
+)
+
+// leakyOpen never closes f; the only uses are method receivers, which
+// keep the resource tracked.
+func leakyOpen(p string) ([]byte, error) {
+	f, err := os.Open(p) // want `f is not closed on every path`
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 16)
+	_, rerr := f.Read(buf)
+	return buf, rerr
+}
+
+// okDefer is the canonical shape: defer Close right after the error
+// check covers every later return.
+func okDefer(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, rerr := f.Read(buf)
+	return rerr
+}
+
+// leakOnErrPath closes f on the success path but leaks it when the
+// second open fails — the classic early-return leak.
+func leakOnErrPath(p, q string) error {
+	f, err := os.Open(p) // want `f is not closed on every path`
+	if err != nil {
+		return err
+	}
+	g, err2 := os.Open(q)
+	if err2 != nil {
+		return err2
+	}
+	g.Close()
+	f.Close()
+	return nil
+}
+
+// transfer hands the open file to the caller: returning it ends this
+// function's responsibility.
+func transfer(p string) (*os.File, error) {
+	f, err := os.Open(p)
+	return f, err
+}
+
+// handoff passes the file as an argument: ownership moves with it.
+func handoff(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	return consume(f)
+}
+
+func consume(f *os.File) error { return f.Close() }
+
+// spawnLeaky runs a goroutine with no join or cancel construct at all.
+func spawnLeaky() {
+	go func() { // want `goroutine has no join or cancel edge`
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}
+
+// spawnJoined signals completion through the WaitGroup.
+func spawnJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// spawnSignaled closes a channel on exit; the spawner can join on it.
+func spawnSignaled(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}
+
+// worker exits when the channel is closed, so spawning it by name is a
+// bounded goroutine.
+func worker(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+func spawnNamed(ch chan int) {
+	go worker(ch)
+}
+
+var (
+	_ = leakyOpen
+	_ = okDefer
+	_ = leakOnErrPath
+	_ = transfer
+	_ = handoff
+	_ = spawnLeaky
+	_ = spawnJoined
+	_ = spawnSignaled
+	_ = spawnNamed
+)

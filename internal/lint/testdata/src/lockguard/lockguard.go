@@ -1,0 +1,98 @@
+// Fixture for the lockguard analyzer: sibling-mutex guard inference.
+// cacheShard is a minimized reproduction of the PR 8 curve-server bug,
+// where the sharded result cache's hot read path touched the LRU maps
+// without taking the shard lock.
+package lockguard
+
+import "sync"
+
+type cacheShard struct {
+	mu    sync.Mutex
+	items map[string]int
+	bytes int64
+}
+
+func (sh *cacheShard) Put(key string, v int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.items[key] = v // guarded: lock held via defer pair
+	sh.bytes++
+}
+
+// GetRacy is the PR 8 bug shape: a read path that skips the shard
+// lock other access sites hold.
+func (sh *cacheShard) GetRacy(key string) int {
+	return sh.items[key] // want `sh\.items is accessed without holding mu`
+}
+
+// maybeLocked holds the lock on only one path into the access; the
+// must-join drops the fact at the merge.
+func (sh *cacheShard) maybeLocked(b bool, key string) {
+	if b {
+		sh.mu.Lock()
+	}
+	sh.items[key] = 1 // want `sh\.items is accessed without holding mu`
+	if b {
+		sh.mu.Unlock()
+	}
+}
+
+// afterUnlock accesses past the unlock; the kill is position-exact.
+func (sh *cacheShard) afterUnlock() int64 {
+	sh.mu.Lock()
+	sh.mu.Unlock()
+	return sh.bytes // want `sh\.bytes is accessed without holding mu`
+}
+
+// newShard is the constructor pattern: the value is not shared yet, so
+// lock-free initialization is fine.
+func newShard() *cacheShard {
+	sh := &cacheShard{items: map[string]int{}}
+	sh.bytes = 0
+	return sh
+}
+
+type store struct {
+	mu     sync.RWMutex
+	traces map[string]string
+}
+
+// lookup holds the read lock; RLock counts as held.
+func (s *store) lookup(k string) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.traces[k]
+}
+
+func (s *store) drop(k string) {
+	delete(s.traces, k) // want `s\.traces is accessed without holding mu`
+}
+
+// queue shows the self-synchronizing exemptions: the channel and the
+// atomic-ish plain counter differ — only the mutex-guarded counter is
+// inferred, the channel never becomes a candidate.
+type queue struct {
+	mu   sync.Mutex
+	jobs chan int
+	n    int
+}
+
+func (q *queue) push(v int) {
+	q.mu.Lock()
+	q.n++
+	q.mu.Unlock()
+	q.jobs <- v // channels synchronize themselves: no guard inferred
+}
+
+// viaClosure locks inside the closure; closures are judged as their
+// own analysis unit, so the access is seen with the lock held.
+func (q *queue) viaClosure() {
+	f := func() {
+		q.mu.Lock()
+		q.n++
+		q.mu.Unlock()
+	}
+	f()
+}
+
+var _ = newShard

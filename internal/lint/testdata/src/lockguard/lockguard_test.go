@@ -1,0 +1,13 @@
+// Test files are exempt from guard checking: tests routinely poke at
+// struct internals single-threaded. No want comments here by design.
+package lockguard
+
+import "testing"
+
+func TestShardInternals(t *testing.T) {
+	sh := newShard()
+	sh.items["k"] = 1 // fresh + test file: never reported
+	if sh.items["k"] != 1 {
+		t.Fatal("lost write")
+	}
+}

@@ -53,6 +53,13 @@ type Server struct {
 	mux        *http.ServeMux
 
 	jobsServed atomic.Uint64
+
+	// writeFailures counts response writes that failed mid-body
+	// (client gone, connection reset). The response status is already
+	// committed by then, so the only honest handling is to surface the
+	// count in /statsz; silently dropping the error would hide
+	// truncated responses from the serving metrics.
+	writeFailures atomic.Uint64
 }
 
 // New builds a Server from cfg, applying defaults for zero fields.
@@ -128,7 +135,7 @@ type errorBody struct {
 	} `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, e *apiError) {
+func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
 	var body errorBody
 	body.Error.Code = e.code
 	body.Error.Message = e.msg
@@ -137,27 +144,31 @@ func writeError(w http.ResponseWriter, e *apiError) {
 		w.Header().Set("Retry-After", "1")
 	}
 	w.WriteHeader(e.status)
-	// The body is a fixed shape over two strings; encoding cannot fail,
-	// and a broken client connection has no recovery path anyway.
-	_ = json.NewEncoder(w).Encode(body)
+	// Encoding two strings cannot fail, so an error here means the
+	// client connection broke mid-body: count it.
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		s.writeFailures.Add(1)
+	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.writeFailures.Add(1)
+	}
 }
 
 // methodErr emits the documented 405 (with Allow header) and reports
 // whether the request was rejected.
-func methodErr(w http.ResponseWriter, r *http.Request, allowed ...string) bool {
+func (s *Server) methodErr(w http.ResponseWriter, r *http.Request, allowed ...string) bool {
 	for _, m := range allowed {
 		if r.Method == m {
 			return false
 		}
 	}
 	w.Header().Set("Allow", strings.Join(allowed, ", "))
-	writeError(w, &apiError{
+	s.writeError(w, &apiError{
 		status: http.StatusMethodNotAllowed,
 		code:   "method_not_allowed",
 		msg:    fmt.Sprintf("%s is not allowed here (want %s)", r.Method, strings.Join(allowed, " or ")),
@@ -169,7 +180,7 @@ func methodErr(w http.ResponseWriter, r *http.Request, allowed ...string) bool {
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		writeJSON(w, http.StatusOK, struct {
+		s.writeJSON(w, http.StatusOK, struct {
 			Traces []TraceInfo `json:"traces"`
 		}{s.store.List()})
 	case http.MethodPost:
@@ -178,52 +189,54 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			var tooBig *http.MaxBytesError
 			if errors.As(err, &tooBig) {
-				writeError(w, &apiError{
+				s.writeError(w, &apiError{
 					status: http.StatusRequestEntityTooLarge,
 					code:   "body_too_large",
 					msg:    fmt.Sprintf("upload exceeds the %d-byte limit", tooBig.Limit),
 				})
 				return
 			}
-			writeError(w, badRequest("invalid_trace", err.Error()))
+			s.writeError(w, badRequest("invalid_trace", err.Error()))
 			return
 		}
-		writeJSON(w, http.StatusCreated, info)
+		s.writeJSON(w, http.StatusCreated, info)
 	default:
-		methodErr(w, r, http.MethodGet, http.MethodPost)
+		s.methodErr(w, r, http.MethodGet, http.MethodPost)
 	}
 }
 
 // handleTraceInfo is GET /v1/traces/{hash}.
 func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
-	if methodErr(w, r, http.MethodGet) {
+	if s.methodErr(w, r, http.MethodGet) {
 		return
 	}
 	hash := strings.TrimPrefix(r.URL.Path, "/v1/traces/")
 	info, ok := s.store.Info(hash)
 	if !ok {
-		writeError(w, &apiError{status: http.StatusNotFound, code: "trace_not_found", msg: fmt.Sprintf("no trace %s", hash)})
+		s.writeError(w, &apiError{status: http.StatusNotFound, code: "trace_not_found", msg: fmt.Sprintf("no trace %s", hash)})
 		return
 	}
-	writeJSON(w, http.StatusOK, info)
+	s.writeJSON(w, http.StatusOK, info)
 }
 
 // handleWorkloads is GET /v1/workloads.
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	if methodErr(w, r, http.MethodGet) {
+	if s.methodErr(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
+	s.writeJSON(w, http.StatusOK, struct {
 		Workloads []string `json:"workloads"`
 	}{workload.Names()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if methodErr(w, r, http.MethodGet) {
+	if s.methodErr(w, r, http.MethodGet) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	if _, err := fmt.Fprintln(w, "ok"); err != nil {
+		s.writeFailures.Add(1)
+	}
 }
 
 // Stats is the /statsz payload.
@@ -235,21 +248,25 @@ type Stats struct {
 	JobsServed   uint64     `json:"jobs_served"`
 	Deduped      uint64     `json:"flights_deduped"`
 	Traces       int        `json:"traces"`
+	// WriteFailures counts responses whose body write failed after the
+	// status was committed (client disconnects, resets).
+	WriteFailures uint64 `json:"write_failures"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	if methodErr(w, r, http.MethodGet) {
+	if s.methodErr(w, r, http.MethodGet) {
 		return
 	}
 	cs := s.cache.Stats()
-	writeJSON(w, http.StatusOK, Stats{
-		Cache:        cs,
-		CacheHitRate: cs.HitRate(),
-		QueueDepth:   s.queue.Depth(),
-		QueueRunning: s.queue.Running(),
-		JobsServed:   s.jobsServed.Load(),
-		Deduped:      s.flights.Deduped(),
-		Traces:       s.store.Len(),
+	s.writeJSON(w, http.StatusOK, Stats{
+		Cache:         cs,
+		CacheHitRate:  cs.HitRate(),
+		QueueDepth:    s.queue.Depth(),
+		QueueRunning:  s.queue.Running(),
+		JobsServed:    s.jobsServed.Load(),
+		Deduped:       s.flights.Deduped(),
+		Traces:        s.store.Len(),
+		WriteFailures: s.writeFailures.Load(),
 	})
 }
 
@@ -257,12 +274,12 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 // the result cache, and otherwise run the job once per key through
 // singleflight + the bounded queue.
 func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
-	if methodErr(w, r, http.MethodGet) {
+	if s.methodErr(w, r, http.MethodGet) {
 		return
 	}
 	spec, aerr := parseJobSpec(r.URL.Query(), s.store)
 	if aerr != nil {
-		writeError(w, aerr)
+		s.writeError(w, aerr)
 		return
 	}
 	format := r.URL.Query().Get("format")
@@ -270,7 +287,7 @@ func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
 		format = "json"
 	}
 	if format != "json" && format != "csv" {
-		writeError(w, badRequest("unknown_format", fmt.Sprintf("unknown format %q (want json or csv)", format)))
+		s.writeError(w, badRequest("unknown_format", fmt.Sprintf("unknown format %q (want json or csv)", format)))
 		return
 	}
 
@@ -309,7 +326,7 @@ func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
 		if r.Context().Err() != nil {
 			return
 		}
-		writeError(w, curveError(err))
+		s.writeError(w, curveError(err))
 		return
 	}
 	source := "miss"
@@ -346,17 +363,21 @@ func (s *Server) serveCurve(w http.ResponseWriter, spec JobSpec, payload []byte,
 	if format == "csv" {
 		curve, err := analysis.ReadCurveJSON(bytes.NewReader(payload))
 		if err != nil {
-			writeError(w, &apiError{status: http.StatusInternalServerError, code: "compute_failed", msg: err.Error()})
+			s.writeError(w, &apiError{status: http.StatusInternalServerError, code: "compute_failed", msg: err.Error()})
 			return
 		}
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
-		_, _ = fmt.Fprint(w, report.CurveTable(spec.title(), curve).CSV())
+		if _, err := fmt.Fprint(w, report.CurveTable(spec.title(), curve).CSV()); err != nil {
+			s.writeFailures.Add(1)
+		}
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(payload)
+	if _, err := w.Write(payload); err != nil {
+		s.writeFailures.Add(1)
+	}
 }
 
 func (j JobSpec) title() string {

@@ -300,12 +300,18 @@ func (t *Trace) WriteV2Frames(w io.Writer, frameRecords int) error {
 	if err != nil {
 		return err
 	}
+	var appendErr error
 	for _, r := range t.Records {
-		if err := enc.Append(r); err != nil {
-			return err
+		if appendErr = enc.Append(r); appendErr != nil {
+			break
 		}
 	}
-	return enc.Close()
+	// Close even after a failed append so the encoder's buffered state
+	// is released; the append error stays the primary one.
+	if cerr := enc.Close(); appendErr == nil {
+		return cerr
+	}
+	return appendErr
 }
 
 // readHeader2 reads the two fixed-width header counts after the
