@@ -9,19 +9,25 @@
 //	         [-mode ways|sets] [-engine auto|fused|persize|analytic]
 //	         [-nowarm] [-seed N] [-save FILE] [-load FILE] [-stream]
 //	         [-analytic] [-sample-rate R] [-sample-size N] [-csv]
-//	         [-j N] [-cpuprofile FILE] <benchmark>
+//	         [-j N] [-decode-j N] [-cpuprofile FILE] <benchmark>
 //
 // ByWays sweeps default to the fused engine (one trace replay for all
 // sizes); -engine persize forces the historical one-machine-per-size
-// path — the curves are bit-identical either way. The per-size
-// simulations fan out across -j workers (default: one per CPU); the
-// curve is identical at any width.
+// path — the curves are bit-identical either way. -j sets the sweep
+// width (default: one per CPU): the per-size engine fans sizes out
+// across workers, and the fused engine shards its replica block so
+// each worker replays a contiguous slice of the size list against one
+// shared decode of the trace. The curve is bit-identical at any width
+// (pinned by internal/conformance).
 //
 // -stream replays a -load file out of core: blocks are decoded (and
 // prefetched on a background pipeline) as the sweep consumes them, in
 // O(block) memory, so the trace can be far larger than RAM. The curve
 // is bit-identical to the in-memory path (pinned by
-// internal/conformance and the CI CSV diff).
+// internal/conformance and the CI CSV diff). -decode-j widens the v2
+// frame decode itself: frames are checksum-verified and varint-decoded
+// by a worker pool and reassembled in order (0 = match -j; 1 = the
+// sync prefetch reader).
 //
 // -analytic additionally prints the SHARDS-sampled analytic estimate
 // (internal/analytic): one sampled profiling pass instead of a replay
@@ -66,6 +72,7 @@ func main() {
 	sampleRate := flag.Float64("sample-rate", 0.01, "analytic SHARDS sampling rate in (0, 1]; 1.0 is exact")
 	sampleSize := flag.Int("sample-size", 0, "analytic fixed-size mode: cap tracked lines, rate adapts (overrides -sample-rate)")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers across cache sizes (1 = serial)")
+	decodeWorkers := flag.Int("decode-j", 0, "parallel v2 frame-decode workers for -stream (0 = match -j, 1 = sync reader)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	flag.Parse()
 
@@ -182,8 +189,17 @@ func main() {
 		Machine: mcfg, Mode: swMode, Engine: eng, NoWarm: *noWarm, Workers: *workers,
 		SampleRate: *sampleRate, SampleSize: *sampleSize,
 	}
+	decodeJ := *decodeWorkers
+	if decodeJ == 0 {
+		decodeJ = *workers
+	}
 	openSource := func() (trace.BlockSource, error) {
 		if *stream {
+			if decodeJ > 1 {
+				// OpenFileParallel falls back to the sync reader for v1
+				// files, so -decode-j is safe on either format.
+				return trace.OpenFileParallel(*load, trace.ParallelReaderOptions{Workers: decodeJ})
+			}
 			return trace.OpenFile(*load, trace.ReaderOptions{Prefetch: 2})
 		}
 		return trace.NewReplayer(tr, false), nil

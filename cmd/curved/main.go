@@ -36,18 +36,19 @@ func main() {
 		storeDir   = flag.String("store", "curved-store", "trace store directory")
 		cacheBytes = flag.Int64("cache-bytes", 64<<20, "result cache budget in bytes (negative disables)")
 		workers    = flag.Int("workers", 0, "job queue workers (0 = GOMAXPROCS)")
+		sweepJ     = flag.Int("sweep-j", 1, "shard workers per fused-sweep job (1 = one job per queue slot; curves are identical at any width)")
 		backlog    = flag.Int("backlog", 0, "queued jobs beyond running before 429 (0 = 4x workers)")
 		jobTimeout = flag.Duration("job-timeout", 120*time.Second, "per-job deadline")
 		maxUpload  = flag.Int64("max-upload", 256<<20, "largest accepted trace upload in bytes")
 	)
 	flag.Parse()
-	if err := run(*addr, *storeDir, *cacheBytes, *workers, *backlog, *jobTimeout, *maxUpload); err != nil {
+	if err := run(*addr, *storeDir, *cacheBytes, *workers, *sweepJ, *backlog, *jobTimeout, *maxUpload); err != nil {
 		fmt.Fprintln(os.Stderr, "curved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, storeDir string, cacheBytes int64, workers, backlog int, jobTimeout time.Duration, maxUpload int64) error {
+func run(addr, storeDir string, cacheBytes int64, workers, sweepWorkers, backlog int, jobTimeout time.Duration, maxUpload int64) error {
 	store, err := server.NewStore(storeDir)
 	if err != nil {
 		return err
@@ -56,6 +57,7 @@ func run(addr, storeDir string, cacheBytes int64, workers, backlog int, jobTimeo
 		Store:          store,
 		CacheBytes:     cacheBytes,
 		Workers:        workers,
+		SweepWorkers:   sweepWorkers,
 		Backlog:        backlog,
 		JobTimeout:     jobTimeout,
 		MaxUploadBytes: maxUpload,

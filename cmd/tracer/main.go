@@ -8,21 +8,27 @@
 // Usage:
 //
 //	tracer record  [-records N] [-skip N] [-seed N] [-frame N] -o FILE <benchmark>
-//	tracer info    [-check] [-footprint] [-sample-size N] FILE
+//	tracer info    [-check] [-j N] [-footprint] [-sample-size N] FILE
 //	tracer convert -to v1|v2 [-frame N] -o FILE SRC
 //	tracer compact [-frame N] -o FILE SRC
 //
 // record captures without materialising the trace: each record goes
 // from the workload generator into the current frame, and the file
 // header's record/instruction totals are patched on Close. info skims
-// frame headers (cheap); -check re-decodes every frame and verifies
-// the rolling checksum chain; -footprint runs one SHARDS-sampled
-// profiling pass (internal/analytic, fixed-size mode: O(sample-size)
-// memory however large the file) and reports the estimated footprint
-// and working-set sizes. convert streams SRC (either version) into the
-// requested format; compact is convert -to v2, useful to re-frame a v2
-// file or upgrade a v1 capture in place. All conversion paths run in
-// O(frame) memory, so multi-GB traces are fine.
+// frame headers (cheap) and reports whether the file supports parallel
+// decode (v2 frames are delta-independent, so a worker pool can decode
+// them concurrently; v1 is one flat delta chain and cannot); -check
+// re-decodes every frame and verifies the rolling checksum chain, and
+// -j widens the check across that decode pool. -footprint runs one
+// SHARDS-sampled profiling pass (internal/analytic, fixed-size mode:
+// O(sample-size) memory however large the file) and reports the
+// estimated footprint and working-set sizes. convert streams SRC
+// (either version) into the requested format; compact is convert -to
+// v2, useful to re-frame a v2 file or upgrade a v1 capture. When -o
+// names SRC itself the rewrite goes through a temp file in the same
+// directory and renames over the original, so an interrupted convert
+// never corrupts it. All conversion paths run in O(frame) memory, so
+// multi-GB traces are fine.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"cachepirate/internal/analytic"
 	"cachepirate/internal/stackdist"
@@ -40,7 +47,7 @@ import (
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   tracer record  [-records N] [-skip N] [-seed N] [-frame N] -o FILE <benchmark>
-  tracer info    [-check] [-footprint] [-sample-size N] FILE
+  tracer info    [-check] [-j N] [-footprint] [-sample-size N] FILE
   tracer convert -to v1|v2 [-frame N] -o FILE SRC
   tracer compact [-frame N] -o FILE SRC
 `)
@@ -121,10 +128,12 @@ func record(args []string) {
 
 // info prints a trace file's vitals from a frame-header skim; -check
 // additionally replays every frame through the streaming decoder,
-// verifying varint structure and the rolling checksum chain.
+// verifying varint structure and the rolling checksum chain (-j N
+// fans the decode across a worker pool).
 func info(args []string) {
 	fs := flag.NewFlagSet("tracer info", flag.ExitOnError)
 	check := fs.Bool("check", false, "fully decode and verify frame checksums")
+	checkWorkers := fs.Int("j", 1, "-check decode workers (>1 uses the parallel frame decoder)")
 	footprint := fs.Bool("footprint", false, "one sampled pass: estimate footprint and working-set sizes")
 	sampleSize := fs.Int("sample-size", 8192, "-footprint sample cap in lines (memory bound)")
 	fs.Parse(args)
@@ -157,12 +166,27 @@ func info(args []string) {
 	if st.Bytes >= 0 {
 		fmt.Printf("  bytes:         %d (%.2f bytes/record)\n", st.Bytes, st.BytesPerRecord())
 	}
+	// v2 frames restart the address delta chain, so a worker pool can
+	// decode them independently; v1 is one flat chain end to end.
+	if st.Version >= 2 {
+		fmt.Printf("  parallel:      yes (delta-independent frames; decodable by a worker pool)\n")
+	} else {
+		fmt.Printf("  parallel:      no (flat delta chain; convert -to v2 to enable parallel decode)\n")
+	}
 
 	if *check {
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
 			fatal(err)
 		}
-		r, err := trace.NewReader(f, trace.ReaderOptions{})
+		var r interface {
+			trace.BlockSource
+			Close() error
+		}
+		if *checkWorkers > 1 {
+			r, err = trace.NewParallelReader(f, trace.ParallelReaderOptions{Workers: *checkWorkers})
+		} else {
+			r, err = trace.NewReader(f, trace.ReaderOptions{})
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -252,7 +276,7 @@ func convert(args []string, forceTo string) {
 			fatal(err)
 		}
 	}()
-	f, err := os.Create(dst)
+	f, finish, err := createOutput(src, dst)
 	if err != nil {
 		fatal(err)
 	}
@@ -295,7 +319,45 @@ func convert(args []string, forceTo string) {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
+	if err := finish(); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("%s: wrote %s (%d records, %d instructions)\n", dst, *to, recs, instrs)
+}
+
+// createOutput opens the convert destination. When dst names the
+// source file itself (an in-place upgrade), os.Create would truncate
+// the trace while the reader is still draining it, so the rewrite goes
+// to a temp file in dst's directory and the returned finish renames it
+// over the original — atomic on POSIX, so an interrupted convert
+// leaves the source intact.
+func createOutput(src, dst string) (*os.File, func() error, error) {
+	if sameFile(src, dst) {
+		tmp, err := os.CreateTemp(filepath.Dir(dst), ".tracer-convert-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		return tmp, func() error { return os.Rename(tmp.Name(), dst) }, nil
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() error { return nil }, nil
+}
+
+// sameFile reports whether src and dst name the same existing file.
+// A dst that does not exist yet is never in-place.
+func sameFile(src, dst string) bool {
+	si, err := os.Stat(src)
+	if err != nil {
+		return false
+	}
+	di, err := os.Stat(dst)
+	if err != nil {
+		return false
+	}
+	return os.SameFile(si, di)
 }
 
 // copyBlocks drains src into append, block by block.

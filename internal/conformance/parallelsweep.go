@@ -1,0 +1,67 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+
+	"cachepirate/internal/simulate"
+	"cachepirate/internal/trace"
+)
+
+// CheckParallelSweepEquivalence extends the streamed-sweep gate over
+// the two parallel axes the multi-core replay adds: the shard width
+// (how many workers the fused engine's replica block is split across)
+// and the decode width (how many workers the trace.ParallelReader fans
+// v2 frames to). The serial in-memory fused sweep is the oracle; the
+// same config is then swept (a) sharded over in-memory blocks, (b)
+// sharded over a sync streaming Reader, and (c) sharded over a
+// ParallelReader at the given decode width — every curve must be
+// Float64bits-identical. Parallelism on either axis is a wall-clock
+// choice, never a results choice.
+func CheckParallelSweepEquivalence(cfg simulate.Config, tr *trace.Trace, frameRecords, shardWorkers, decodeWorkers int) error {
+	serial := cfg
+	serial.Workers = 1
+	want, err := simulate.Sweep(serial, tr)
+	if err != nil {
+		return fmt.Errorf("conformance: serial fused sweep: %w", err)
+	}
+
+	sharded := cfg
+	sharded.Workers = shardWorkers
+	got, err := simulate.Sweep(sharded, tr)
+	if err != nil {
+		return fmt.Errorf("conformance: sharded sweep (j=%d): %w", shardWorkers, err)
+	}
+	if err := CurvesIdentical(want, got); err != nil {
+		return fmt.Errorf("conformance: sharded sweep (j=%d) diverges from serial fused: %w", shardWorkers, err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteV2Frames(&buf, frameRecords); err != nil {
+		return fmt.Errorf("conformance: encoding v2 stream: %w", err)
+	}
+	data := buf.Bytes()
+
+	got, err = simulate.SweepStream(sharded, func() (trace.BlockSource, error) {
+		return trace.NewReader(bytes.NewReader(data), trace.ReaderOptions{Prefetch: 2})
+	})
+	if err != nil {
+		return fmt.Errorf("conformance: sharded streamed sweep (j=%d): %w", shardWorkers, err)
+	}
+	if err := CurvesIdentical(want, got); err != nil {
+		return fmt.Errorf("conformance: sharded streamed sweep (j=%d, frame %d) diverges from serial fused: %w", shardWorkers, frameRecords, err)
+	}
+
+	got, err = simulate.SweepStream(sharded, func() (trace.BlockSource, error) {
+		return trace.NewParallelReader(bytes.NewReader(data),
+			trace.ParallelReaderOptions{Workers: decodeWorkers})
+	})
+	if err != nil {
+		return fmt.Errorf("conformance: sharded parallel-decode sweep (j=%d, decode=%d): %w", shardWorkers, decodeWorkers, err)
+	}
+	if err := CurvesIdentical(want, got); err != nil {
+		return fmt.Errorf("conformance: sharded parallel-decode sweep (j=%d, decode=%d, frame %d) diverges from serial fused: %w",
+			shardWorkers, decodeWorkers, frameRecords, err)
+	}
+	return nil
+}

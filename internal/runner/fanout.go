@@ -1,0 +1,174 @@
+package runner
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// Fanout is the single-producer broadcast pipeline behind the
+// replica-sharded fused sweep: one background goroutine fills pool
+// buffers from a stream (decoding each trace block exactly once) and
+// broadcasts every filled buffer to all consumers, who each replay it
+// against their own shard of cache replicas. A buffer returns to the
+// free list only when the last consumer releases it, so the pool is a
+// refcounted free list — not sync.Pool — and stays deterministic.
+//
+// Deadlock freedom is again by counting: the free list holds at most
+// len(bufs) wrappers, each consumer's queue holds each wrapper at most
+// once, and the queues have capacity len(bufs)+1, so neither the
+// producer's broadcasts nor the consumers' releases can ever block.
+//
+// ErrFanoutStopped is only ever surfaced if a consumer calls Next
+// after Stop — the coordinator must join consumers (e.g. runner.Run
+// returning) before calling Stop.
+type Fanout[B any] struct {
+	free chan *fanItem[B]
+	outs []chan *fanItem[B]
+	stop chan struct{}
+	done chan struct{}
+
+	// inflight mirrors the global shardInFlight gauge for this Fanout
+	// so Stop can retire blocks abandoned by cancelled consumers.
+	inflight atomic.Int64
+
+	prev     []*fanItem[B] // per-consumer: last delivered, not yet released
+	finished []error       // per-consumer sticky end state
+}
+
+type fanItem[B any] struct {
+	buf  B
+	err  error
+	refs atomic.Int32
+}
+
+// ErrFanoutStopped reports a Next call racing a Stop; it indicates a
+// coordinator bug (Stop before consumers were joined), never an
+// end-of-stream.
+var ErrFanoutStopped = errors.New("runner: fanout stopped")
+
+// StartFanout launches the broadcast pipeline over the buffer pool.
+// fill is called in the background goroutine (never concurrently with
+// itself) to fill one buffer; io.EOF ends the stream cleanly and any
+// other error aborts it — either way the error is broadcast to every
+// consumer. Each consumer c in [0, consumers) must call Next(c) from
+// its own single goroutine.
+func StartFanout[B any](bufs []B, consumers int, fill func(B) error) *Fanout[B] {
+	if len(bufs) < 1 {
+		panic("runner: StartFanout needs at least one buffer")
+	}
+	if consumers < 1 {
+		panic("runner: StartFanout needs at least one consumer")
+	}
+	f := &Fanout[B]{
+		free:     make(chan *fanItem[B], len(bufs)),
+		outs:     make([]chan *fanItem[B], consumers),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		prev:     make([]*fanItem[B], consumers),
+		finished: make([]error, consumers),
+	}
+	for i := range f.outs {
+		f.outs[i] = make(chan *fanItem[B], len(bufs)+1)
+	}
+	for _, b := range bufs {
+		f.free <- &fanItem[B]{buf: b}
+	}
+	shardConsumers.Add(int64(consumers))
+	go f.produce(fill)
+	return f
+}
+
+func (f *Fanout[B]) produce(fill func(B) error) {
+	defer close(f.done)
+	for {
+		var it *fanItem[B]
+		select {
+		case <-f.stop:
+			return
+		case it = <-f.free:
+		}
+		if err := fill(it.buf); err != nil {
+			// Terminal: the same wrapper carries the error to every
+			// consumer; it is never refcounted or recycled.
+			it.err = err
+			for _, out := range f.outs {
+				select {
+				case out <- it:
+				case <-f.stop:
+					return
+				}
+			}
+			return
+		}
+		it.err = nil
+		it.refs.Store(int32(len(f.outs)))
+		shardInFlight.Add(1)
+		f.inflight.Add(1)
+		for _, out := range f.outs {
+			// Queue capacity pool+1 and each wrapper is queued at most
+			// once per consumer, so these sends never block; the stop
+			// case only matters during teardown.
+			select {
+			case out <- it:
+			case <-f.stop:
+				return
+			}
+		}
+	}
+}
+
+// Next returns the next filled buffer for consumer c, releasing the
+// buffer previously delivered to c (when the last consumer releases a
+// buffer it returns to the free list). At end of stream it returns
+// (zero, io.EOF); fill errors are returned in stream position. Both
+// are sticky per consumer. Next(c) must only be called from consumer
+// c's goroutine.
+func (f *Fanout[B]) Next(c int) (B, error) {
+	var zero B
+	if f.finished[c] != nil {
+		return zero, f.finished[c]
+	}
+	f.release(c)
+	var it *fanItem[B]
+	select {
+	case it = <-f.outs[c]:
+	case <-f.stop:
+		f.finished[c] = ErrFanoutStopped
+		return zero, ErrFanoutStopped
+	}
+	if it.err != nil {
+		f.finished[c] = it.err
+		return zero, it.err
+	}
+	f.prev[c] = it
+	return it.buf, nil
+}
+
+// release drops consumer c's hold on its previously delivered buffer.
+func (f *Fanout[B]) release(c int) {
+	it := f.prev[c]
+	if it == nil {
+		return
+	}
+	f.prev[c] = nil
+	if it.refs.Add(-1) == 0 {
+		shardInFlight.Add(-1)
+		f.inflight.Add(-1)
+		// Never blocks: the free list's capacity is the pool size.
+		f.free <- it
+	}
+}
+
+// Stop tears the pipeline down and waits for the producer goroutine to
+// exit. Consumers must already be joined (no Next call may race Stop);
+// buffers they still held are retired from the in-flight gauge here.
+func (f *Fanout[B]) Stop() {
+	select {
+	case <-f.stop:
+	default:
+		close(f.stop)
+	}
+	<-f.done
+	shardConsumers.Add(-int64(len(f.outs)))
+	shardInFlight.Add(-f.inflight.Swap(0))
+}

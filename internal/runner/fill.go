@@ -16,6 +16,7 @@ package runner
 // Map does: it is the one sanctioned home for goroutines, so the
 // deterministic simulation packages stay free of scheduling.
 type Fill[B any] struct {
+	bufs []B // the pool, kept so Restart can re-seed it
 	out  chan fillResult[B]
 	back chan B
 	stop chan struct{}
@@ -41,6 +42,7 @@ func StartFill[B any](bufs []B, fill func(B) error) *Fill[B] {
 		panic("runner: StartFill needs at least one buffer")
 	}
 	f := &Fill[B]{
+		bufs: bufs,
 		out:  make(chan fillResult[B], len(bufs)),
 		back: make(chan B, len(bufs)),
 		stop: make(chan struct{}),
@@ -109,4 +111,54 @@ func (f *Fill[B]) Stop() {
 	// never block (capacity == pool size) and the pool receive selects
 	// on stop. Just wait for the exit.
 	<-f.done
+}
+
+// Restart reuses the pipeline — its channels and its buffer pool — for
+// a fresh pass over a (re-positioned) stream. It must only be called
+// after Stop has returned, which guarantees the producer goroutine has
+// exited and every pool buffer is at rest in a channel or in the
+// consumer's hands. Restarting instead of StartFill-ing anew is what
+// keeps a multi-pass streamed replay (warm pass + measured pass per
+// sweep consumer) from re-allocating the four pipeline channels and
+// the Fill struct on every Rewind; only the producer goroutine itself
+// is recreated.
+func (f *Fill[B]) Restart(fill func(B) error) {
+	select {
+	case <-f.done:
+	default:
+		panic("runner: Restart before Stop")
+	}
+	// Collect every buffer back into the pool: unconsumed results are
+	// discarded, returned buffers drained, and the pool re-seeded from
+	// the original slice (which owns the buffer identities).
+	for {
+		select {
+		case <-f.out:
+			continue
+		default:
+		}
+		break
+	}
+	for {
+		select {
+		case <-f.back:
+			continue
+		default:
+		}
+		break
+	}
+	for _, b := range f.bufs {
+		f.back <- b
+	}
+	select {
+	case <-f.stop: // closed by a mid-stream Stop; needs a fresh one
+		f.stop = make(chan struct{})
+	default:
+	}
+	f.done = make(chan struct{})
+	var zero B
+	f.prev = zero
+	f.havePrev = false
+	f.finished = nil
+	go f.run(fill)
 }

@@ -1,0 +1,331 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipeUnit is the test payload: seq is stamped by the read step, val
+// by the work step, so the consumer can verify both ordering and that
+// the parallel step ran.
+type pipeUnit struct {
+	seq int
+	val int
+}
+
+func runPipe(t *testing.T, nbufs, workers, units int, failRead, failWork int) ([]pipeUnit, error) {
+	t.Helper()
+	bufs := make([]*pipeUnit, nbufs)
+	for i := range bufs {
+		bufs[i] = &pipeUnit{}
+	}
+	next := 0
+	read := func(b *pipeUnit) error {
+		if next == failRead {
+			return errors.New("read boom")
+		}
+		if next == units {
+			return io.EOF
+		}
+		b.seq = next
+		b.val = -1
+		next++
+		return nil
+	}
+	work := func(b *pipeUnit) error {
+		// Scramble completion order so in-order reassembly is actually
+		// exercised: even sequences finish late.
+		if b.seq%2 == 0 {
+			time.Sleep(time.Duration(b.seq%5) * time.Millisecond)
+		}
+		if b.seq == failWork {
+			return fmt.Errorf("work boom at %d", b.seq)
+		}
+		b.val = b.seq * 10
+		return nil
+	}
+	p := StartPipe(bufs, workers, read, work)
+	defer p.Stop()
+	var got []pipeUnit
+	for {
+		b, err := p.Next()
+		if err == io.EOF {
+			return got, nil
+		}
+		if err != nil {
+			// The error must be sticky.
+			if _, err2 := p.Next(); err2 != err {
+				t.Fatalf("error not sticky: first %v then %v", err, err2)
+			}
+			return got, err
+		}
+		got = append(got, *b)
+	}
+}
+
+func TestPipeOrdered(t *testing.T) {
+	for _, tc := range []struct{ nbufs, workers, units int }{
+		{1, 1, 17},
+		{2, 1, 40},
+		{4, 2, 100},
+		{8, 4, 100},
+		{8, 16, 100}, // workers clamp to pool size
+		{4, 4, 0},    // empty stream
+		{4, 4, 3},    // fewer units than buffers
+	} {
+		got, err := runPipe(t, tc.nbufs, tc.workers, tc.units, -1, -1)
+		if err != nil {
+			t.Fatalf("bufs=%d workers=%d: %v", tc.nbufs, tc.workers, err)
+		}
+		if len(got) != tc.units {
+			t.Fatalf("bufs=%d workers=%d: got %d units, want %d", tc.nbufs, tc.workers, len(got), tc.units)
+		}
+		for i, u := range got {
+			if u.seq != i || u.val != i*10 {
+				t.Fatalf("bufs=%d workers=%d: unit %d = %+v, want {%d %d}", tc.nbufs, tc.workers, i, u, i, i*10)
+			}
+		}
+	}
+}
+
+func TestPipeReadError(t *testing.T) {
+	got, err := runPipe(t, 4, 2, 100, 20, -1)
+	if err == nil || err.Error() != "read boom" {
+		t.Fatalf("want read boom, got %v", err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("got %d units before read error, want 20", len(got))
+	}
+}
+
+func TestPipeWorkError(t *testing.T) {
+	got, err := runPipe(t, 4, 4, 100, -1, 10)
+	if err == nil || err.Error() != "work boom at 10" {
+		t.Fatalf("want work boom at 10, got %v", err)
+	}
+	// Every unit before the failed one must have been delivered — the
+	// error surfaces at its stream position, exactly like a sync
+	// decoder would report it.
+	if len(got) != 10 {
+		t.Fatalf("got %d units before work error, want 10", len(got))
+	}
+	for i, u := range got {
+		if u.seq != i {
+			t.Fatalf("unit %d out of order: %+v", i, u)
+		}
+	}
+}
+
+func TestPipeStopMidStreamGauges(t *testing.T) {
+	bufs := make([]*pipeUnit, 8)
+	for i := range bufs {
+		bufs[i] = &pipeUnit{}
+	}
+	read := func(b *pipeUnit) error { return nil } // endless stream
+	work := func(b *pipeUnit) error { time.Sleep(time.Millisecond); return nil }
+	p := StartPipe(bufs, 2, read, work)
+	for i := 0; i < 3; i++ {
+		if _, err := p.Next(); err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	p.Stop()
+	if u := Util(); u.DecodeWorkers != 0 || u.DecodeQueued != 0 || u.DecodeInFlight != 0 {
+		t.Fatalf("gauges not quiescent after Stop: %+v", u)
+	}
+}
+
+func TestFanoutBroadcast(t *testing.T) {
+	for _, tc := range []struct{ nbufs, consumers, units int }{
+		{1, 1, 13},
+		{2, 3, 50},
+		{4, 4, 100},
+		{4, 2, 0},
+	} {
+		bufs := make([]*pipeUnit, tc.nbufs)
+		for i := range bufs {
+			bufs[i] = &pipeUnit{}
+		}
+		next := 0
+		fill := func(b *pipeUnit) error {
+			if next == tc.units {
+				return io.EOF
+			}
+			b.seq = next
+			next++
+			return nil
+		}
+		f := StartFanout(bufs, tc.consumers, fill)
+		got := make([][]int, tc.consumers)
+		var wg sync.WaitGroup
+		errs := make([]error, tc.consumers)
+		for c := 0; c < tc.consumers; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for {
+					b, err := f.Next(c)
+					if err != nil {
+						if err != io.EOF {
+							errs[c] = err
+						}
+						return
+					}
+					got[c] = append(got[c], b.seq)
+					if c == 0 {
+						// Stagger one consumer so buffers are held at
+						// different depths across consumers.
+						time.Sleep(time.Duration(b.seq%3) * 100 * time.Microsecond)
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		f.Stop()
+		for c := 0; c < tc.consumers; c++ {
+			if errs[c] != nil {
+				t.Fatalf("consumer %d: %v", c, errs[c])
+			}
+			if len(got[c]) != tc.units {
+				t.Fatalf("consumer %d saw %d units, want %d", c, len(got[c]), tc.units)
+			}
+			for i, s := range got[c] {
+				if s != i {
+					t.Fatalf("consumer %d unit %d = %d, want %d", c, i, s, i)
+				}
+			}
+		}
+		if u := Util(); u.ShardConsumers != 0 || u.ShardBlocksInFlight != 0 {
+			t.Fatalf("gauges not quiescent after Stop: %+v", u)
+		}
+	}
+}
+
+func TestFanoutErrorBroadcast(t *testing.T) {
+	bufs := []*pipeUnit{{}, {}, {}}
+	next := 0
+	boom := errors.New("fill boom")
+	fill := func(b *pipeUnit) error {
+		if next == 7 {
+			return boom
+		}
+		b.seq = next
+		next++
+		return nil
+	}
+	const consumers = 3
+	f := StartFanout(bufs, consumers, fill)
+	var wg sync.WaitGroup
+	counts := make([]int, consumers)
+	errs := make([]error, consumers)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				_, err := f.Next(c)
+				if err != nil {
+					errs[c] = err
+					// Sticky.
+					if _, err2 := f.Next(c); err2 != err {
+						errs[c] = fmt.Errorf("not sticky: %v then %v", err, err2)
+					}
+					return
+				}
+				counts[c]++
+			}
+		}(c)
+	}
+	wg.Wait()
+	f.Stop()
+	for c := 0; c < consumers; c++ {
+		if errs[c] != boom {
+			t.Fatalf("consumer %d error = %v, want fill boom", c, errs[c])
+		}
+		if counts[c] != 7 {
+			t.Fatalf("consumer %d saw %d units before error, want 7", c, counts[c])
+		}
+	}
+}
+
+func TestFanoutAbandonedConsumerGauges(t *testing.T) {
+	bufs := []*pipeUnit{{}, {}, {}, {}}
+	fill := func(b *pipeUnit) error { return nil } // endless
+	f := StartFanout(bufs, 2, fill)
+	// Consumer 0 takes a few blocks and abandons; consumer 1 never
+	// shows up. Stop must still retire the in-flight gauge.
+	for i := 0; i < 3; i++ {
+		if _, err := f.Next(0); err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	f.Stop()
+	if u := Util(); u.ShardConsumers != 0 || u.ShardBlocksInFlight != 0 {
+		t.Fatalf("gauges not quiescent after Stop: %+v", u)
+	}
+}
+
+func TestFillRestart(t *testing.T) {
+	bufs := []*pipeUnit{{}, {}}
+	mkFill := func(units int) func(*pipeUnit) error {
+		next := 0
+		return func(b *pipeUnit) error {
+			if next == units {
+				return io.EOF
+			}
+			b.seq = next
+			next++
+			return nil
+		}
+	}
+	consume := func(f *Fill[*pipeUnit], want int) {
+		t.Helper()
+		for i := 0; i < want; i++ {
+			b, err := f.Next()
+			if err != nil {
+				t.Fatalf("Next %d: %v", i, err)
+			}
+			if b.seq != i {
+				t.Fatalf("unit %d = %d, want %d", i, b.seq, i)
+			}
+		}
+		if _, err := f.Next(); err != io.EOF {
+			t.Fatalf("want io.EOF, got %v", err)
+		}
+	}
+
+	f := StartFill(bufs, mkFill(9))
+	consume(f, 9)
+	f.Stop()
+
+	// Restart after a clean EOF pass.
+	f.Restart(mkFill(5))
+	consume(f, 5)
+	f.Stop()
+
+	// Restart after a mid-stream Stop (stop channel was closed).
+	f.Restart(mkFill(100))
+	if _, err := f.Next(); err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	f.Stop()
+	f.Restart(mkFill(4))
+	consume(f, 4)
+	f.Stop()
+}
+
+func TestFillRestartBeforeStopPanics(t *testing.T) {
+	bufs := []*pipeUnit{{}}
+	f := StartFill(bufs, func(b *pipeUnit) error { return nil })
+	defer f.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Restart before Stop did not panic")
+		}
+	}()
+	f.Restart(func(b *pipeUnit) error { return io.EOF })
+}

@@ -127,7 +127,7 @@ func TestEndToEndServedCurvesBitIdentical(t *testing.T) {
 			t.Fatal(err)
 		}
 		spec := JobSpec{TraceHash: info.Hash, Engine: EngineFused, PolicyName: "nehalem", Policy: cache.Nehalem}
-		want, err := simulate.SweepContext(context.Background(), spec.simConfig(), tr)
+		want, err := simulate.SweepContext(context.Background(), spec.simConfig(1), tr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -172,11 +172,48 @@ func TestEndToEndWorkloadCapture(t *testing.T) {
 
 	spec := JobSpec{TraceHash: hash, Engine: EngineAnalytic, PolicyName: "nehalem", Policy: cache.Nehalem}
 	open := func() (trace.BlockSource, error) { return store.Open(hash) }
-	want, err := simulate.AnalyticCurveStreamContext(context.Background(), spec.simConfig(), open)
+	want, err := simulate.AnalyticCurveStreamContext(context.Background(), spec.simConfig(1), open)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := conformance.CurvesIdentical(want, served); err != nil {
 		t.Errorf("served workload curve differs from direct engine call: %v", err)
+	}
+}
+
+// TestSweepWorkersCurveIdentical: a server configured with a wide
+// per-job sweep (Config.SweepWorkers) must produce exactly the curve a
+// serial server produces — sharding the fused replica block is a
+// latency knob, never a results knob. This is why SweepWorkers stays
+// out of JobSpec.Key: cached curves remain valid across width changes.
+func TestSweepWorkersCurveIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full engine replays; skipped in -short")
+	}
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := testTraceBytes(t, "microrand", 7, 30_000)
+	info, err := store.Put(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{TraceHash: info.Hash, Engine: EngineFused, PolicyName: "nehalem", Policy: cache.Nehalem}
+
+	curves := make(map[int]*analysis.Curve)
+	for _, workers := range []int{1, 3} {
+		srv, err := New(Config{Store: store, SweepWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		curves[workers], err = srv.computeDirect(context.Background(), spec)
+		srv.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := conformance.CurvesIdentical(curves[1], curves[3]); err != nil {
+		t.Errorf("SweepWorkers=3 curve differs from serial server: %v", err)
 	}
 }

@@ -62,10 +62,14 @@ func (j JobSpec) Key() string {
 		src, j.Engine, j.PolicyName, j.Mode, j.NoWarm, j.SampleRate, j.SampleSize)
 }
 
-// simConfig maps the spec onto a sweep config. Workers is 1: a curve
-// job is one queue slot; server-level parallelism comes from running
-// many jobs, not from fanning one job across every core.
-func (j JobSpec) simConfig() simulate.Config {
+// simConfig maps the spec onto a sweep config. workers is the
+// server's per-job sweep width (Config.SweepWorkers): 1 keeps a curve
+// job to one queue slot, so server-level parallelism comes from
+// running many jobs; wider shards the fused replica block across that
+// many cores for latency, with a bit-identical curve either way. It is
+// deliberately NOT part of JobSpec.Key — parallelism never changes the
+// result, so cached curves stay valid across width changes.
+func (j JobSpec) simConfig(workers int) simulate.Config {
 	eng := simulate.EngineFused
 	switch j.Engine {
 	case EnginePerSize:
@@ -80,7 +84,7 @@ func (j JobSpec) simConfig() simulate.Config {
 		NoWarm:     j.NoWarm,
 		SampleRate: j.SampleRate,
 		SampleSize: j.SampleSize,
-		Workers:    1,
+		Workers:    workers,
 	}
 }
 
@@ -227,7 +231,7 @@ func (s *Server) computeDirect(ctx context.Context, spec JobSpec) (*analysis.Cur
 		hash = info.Hash
 	}
 	open := func() (trace.BlockSource, error) { return s.store.Open(hash) }
-	cfg := spec.simConfig()
+	cfg := spec.simConfig(s.sweepWorkers)
 	switch spec.Engine {
 	case EngineMattson:
 		return simulate.MattsonLRUCurveStreamContext(ctx, cfg, open)

@@ -27,6 +27,12 @@ type Config struct {
 	CacheBytes int64
 	// Workers is the job-queue worker count (default GOMAXPROCS).
 	Workers int
+	// SweepWorkers is how many shard workers each fused-sweep job fans
+	// its replica block across (default 1: a job is one queue slot, and
+	// server throughput comes from running many jobs). Widen it on
+	// latency-sensitive deployments where a single big sweep should use
+	// several cores; the curve is bit-identical at any width.
+	SweepWorkers int
 	// Backlog is the queued-job limit beyond the running jobs;
 	// arrivals past it are refused with 429 (default 4×workers).
 	Backlog int
@@ -43,14 +49,15 @@ type Config struct {
 // Server is the HTTP curve service. See the package comment for the
 // moving parts and DESIGN.md §14 for the endpoint and error taxonomy.
 type Server struct {
-	store      *Store
-	cache      *resultCache
-	flights    *flightGroup
-	queue      *runner.Queue
-	compute    ComputeFunc
-	jobTimeout time.Duration
-	maxUpload  int64
-	mux        *http.ServeMux
+	store        *Store
+	cache        *resultCache
+	flights      *flightGroup
+	queue        *runner.Queue
+	compute      ComputeFunc
+	jobTimeout   time.Duration
+	maxUpload    int64
+	sweepWorkers int
+	mux          *http.ServeMux
 
 	jobsServed atomic.Uint64
 
@@ -76,15 +83,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxUploadBytes <= 0 {
 		cfg.MaxUploadBytes = 256 << 20
 	}
+	if cfg.SweepWorkers <= 0 {
+		cfg.SweepWorkers = 1
+	}
 	s := &Server{
-		store:      cfg.Store,
-		cache:      newResultCache(cfg.CacheBytes),
-		flights:    newFlightGroup(),
-		queue:      runner.NewQueue(cfg.Workers, cfg.Backlog),
-		compute:    cfg.Compute,
-		jobTimeout: cfg.JobTimeout,
-		maxUpload:  cfg.MaxUploadBytes,
-		mux:        http.NewServeMux(),
+		store:        cfg.Store,
+		cache:        newResultCache(cfg.CacheBytes),
+		flights:      newFlightGroup(),
+		queue:        runner.NewQueue(cfg.Workers, cfg.Backlog),
+		compute:      cfg.Compute,
+		jobTimeout:   cfg.JobTimeout,
+		maxUpload:    cfg.MaxUploadBytes,
+		sweepWorkers: cfg.SweepWorkers,
+		mux:          http.NewServeMux(),
 	}
 	if s.compute == nil {
 		s.compute = s.computeDirect
@@ -248,6 +259,12 @@ type Stats struct {
 	JobsServed   uint64     `json:"jobs_served"`
 	Deduped      uint64     `json:"flights_deduped"`
 	Traces       int        `json:"traces"`
+	// SweepWorkers is the configured fused-sweep shard width per job.
+	SweepWorkers int `json:"sweep_workers"`
+	// Runner reports the parallel-replay pools live: v2 frame-decode
+	// workers (queue depth, frames being decoded) and fused-sweep shard
+	// consumers (record blocks in flight). Quiescent servers read zero.
+	Runner runner.UtilStats `json:"runner"`
 	// WriteFailures counts responses whose body write failed after the
 	// status was committed (client disconnects, resets).
 	WriteFailures uint64 `json:"write_failures"`
@@ -266,6 +283,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		JobsServed:    s.jobsServed.Load(),
 		Deduped:       s.flights.Deduped(),
 		Traces:        s.store.Len(),
+		SweepWorkers:  s.sweepWorkers,
+		Runner:        runner.Util(),
 		WriteFailures: s.writeFailures.Load(),
 	})
 }

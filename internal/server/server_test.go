@@ -311,4 +311,28 @@ func TestHealthzAndStatsz(t *testing.T) {
 	if st.Traces != 1 {
 		t.Errorf("traces = %d, want 1", st.Traces)
 	}
+	if st.SweepWorkers != 1 {
+		t.Errorf("sweep_workers = %d, want the default 1", st.SweepWorkers)
+	}
+	// The replay pools are idle between requests, and their gauges
+	// reconcile on teardown — a quiescent server must report zero.
+	if st.Runner.DecodeWorkers != 0 || st.Runner.DecodeQueued != 0 ||
+		st.Runner.DecodeInFlight != 0 || st.Runner.ShardConsumers != 0 ||
+		st.Runner.ShardBlocksInFlight != 0 {
+		t.Errorf("runner gauges not quiescent: %+v", st.Runner)
+	}
+}
+
+// TestStatszSweepWorkers pins the configured shard width through to
+// the stats payload.
+func TestStatszSweepWorkers(t *testing.T) {
+	s, _ := newTestServer(t, Config{SweepWorkers: 3})
+	rec := do(t, s, http.MethodGet, "/statsz", nil)
+	var st Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SweepWorkers != 3 {
+		t.Errorf("sweep_workers = %d, want 3", st.SweepWorkers)
+	}
 }

@@ -30,6 +30,7 @@ package simulate
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"cachepirate/internal/analysis"
 	"cachepirate/internal/cache"
@@ -152,27 +153,42 @@ func (e *fusedEngine) run(ctx context.Context, src trace.BlockSource) error {
 			if pass == 0 {
 				total += int64(n)
 			}
-			for lo := 0; lo < n; lo += fusedBlock {
-				// One poll per fusedBlock round (256 records across
-				// every replica): the cancellation point that lets a
-				// curve job's deadline abandon an in-memory replay,
-				// whose source yields the whole trace as one block.
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-				hi := lo + fusedBlock
-				if hi > n {
-					hi = n
-				}
-				sub := blk[lo:hi]
-				for k := range e.clk {
-					e.replayBlock(sub, k)
-				}
+			if err := e.replayAll(ctx, blk); err != nil {
+				return err
 			}
 		}
 	}
 	if total == 0 {
 		return fmt.Errorf("simulate: empty trace")
+	}
+	return nil
+}
+
+// replayAll advances every replica through one source block,
+// re-chunking it to fusedBlock internally. Chunk boundaries cannot
+// affect results — replicas never interact and replayBlock's timing
+// recurrence is a pure fold over the record sequence — so any chunking
+// of the same record order (a streamed reader's frames, the sharded
+// sweep's broadcast blocks, an in-memory replayer's single block) is
+// bit-identical.
+func (e *fusedEngine) replayAll(ctx context.Context, blk []trace.Record) error {
+	n := len(blk)
+	for lo := 0; lo < n; lo += fusedBlock {
+		// One poll per fusedBlock round (256 records across every
+		// replica): the cancellation point that lets a curve job's
+		// deadline abandon an in-memory replay, whose source yields
+		// the whole trace as one block.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		hi := lo + fusedBlock
+		if hi > n {
+			hi = n
+		}
+		sub := blk[lo:hi]
+		for k := range e.clk {
+			e.replayBlock(sub, k)
+		}
 	}
 	return nil
 }
@@ -306,11 +322,12 @@ func (e *fusedEngine) sample(k int) counters.Sample {
 }
 
 // sweepFusedStream is the fused-engine SweepStream body: validate
-// every size up front with the per-size path's error shapes,
-// partition the sizes into one contiguous chunk per worker, and run
-// each chunk's replicas through one shared replay of its own
-// independently opened source. Replicas never interact, so the
-// partition width cannot change any point.
+// every size up front with the per-size path's error shapes, then
+// replay. Workers == 1 runs the serial engine over all sizes; wider
+// sweeps shard the replica block across workers (sweepFusedSharded)
+// behind a single decode of the trace. Replicas never interact and
+// every shard sees the same record order, so the shard width cannot
+// change any point (conformance.CheckParallelSweepEquivalence).
 func sweepFusedStream(ctx context.Context, cfg Config, open func() (trace.BlockSource, error)) (*analysis.Curve, error) {
 	ways := make([]int, len(cfg.Sizes))
 	for i, size := range cfg.Sizes {
@@ -324,27 +341,170 @@ func sweepFusedStream(ctx context.Context, cfg Config, open func() (trace.BlockS
 		ways[i] = mcfg.L3.Ways
 	}
 	pool := runner.Pool{Workers: cfg.Workers}
-	chunks := pool.EffectiveWorkers(len(cfg.Sizes))
-	chunkPoints, err := runner.Map(ctx, pool, chunks,
-		func(ctx context.Context, c int) ([]analysis.Point, error) {
-			lo := c * len(cfg.Sizes) / chunks
-			hi := (c + 1) * len(cfg.Sizes) / chunks
-			return fusedPoints(ctx, cfg, open, cfg.Sizes[lo:hi], ways[lo:hi])
-		})
+	shards := pool.EffectiveWorkers(len(cfg.Sizes))
+	var points []analysis.Point
+	var err error
+	if shards == 1 {
+		points, err = fusedPoints(ctx, cfg, open, cfg.Sizes, ways)
+	} else {
+		points, err = sweepFusedSharded(ctx, cfg, open, ways, shards)
+	}
 	if err != nil {
 		return nil, err
-	}
-	points := make([]analysis.Point, 0, len(cfg.Sizes))
-	for _, pts := range chunkPoints {
-		points = append(points, pts...)
 	}
 	curve := &analysis.Curve{Name: "reference", Points: points}
 	curve.Sort()
 	return curve, nil
 }
 
-// fusedPoints simulates one chunk of sizes through one fused replay
-// of its own source and assembles their curve points.
+// shardChunkRecords is how many records the sharded sweep's producer
+// copies into one broadcast block. Large enough that the copy
+// (~3 ns/record) and the fan-out hand-off amortise to noise next to
+// the >100 ns/record/replica replay, small enough that blocks pipeline
+// smoothly across shards.
+const shardChunkRecords = 1 << 14
+
+// recBlock is one broadcast unit: a pool-owned copy of a run of trace
+// records, stable while every shard replays it (a BlockSource's own
+// blocks are only valid until its next NextBlock call, so the
+// producer must copy out of them).
+type recBlock struct {
+	recs []trace.Record
+	n    int
+}
+
+// sweepFusedSharded is the multi-core fused sweep: the replica SoA
+// block is split into one contiguous shard per worker (a separate
+// fusedEngine over a contiguous ways subrange), the trace is decoded
+// once per pass, and every decoded block is broadcast to all shards
+// over a bounded fan-out (runner.StartFanout). Bit-identity with the
+// serial fused path holds because replicas never interact, each shard
+// replays the same record order the serial engine would feed it, and
+// the per-shard points are merged back in size order.
+func sweepFusedSharded(ctx context.Context, cfg Config, open func() (trace.BlockSource, error), ways []int, shards int) (_ []analysis.Point, err error) {
+	engines := make([]*fusedEngine, shards)
+	offsets := make([]int, shards+1)
+	for c := 0; c < shards; c++ {
+		lo := c * len(cfg.Sizes) / shards
+		hi := (c + 1) * len(cfg.Sizes) / shards
+		offsets[c], offsets[c+1] = lo, hi
+		engines[c], err = newFusedEngine(cfg, ways[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+	}
+	src, err := open()
+	if err != nil {
+		return nil, err
+	}
+	defer closeSource(src, &err)
+
+	bufs := make([]*recBlock, shards+2)
+	for i := range bufs {
+		bufs[i] = &recBlock{recs: make([]trace.Record, shardChunkRecords)}
+	}
+	var total int64
+	warm := engines[0].warm
+	for pass := 0; pass <= warm; pass++ {
+		if err := src.Rewind(); err != nil {
+			return nil, err
+		}
+		if pass == warm {
+			for _, e := range engines {
+				for k := range e.base {
+					e.base[k] = e.sample(k)
+				}
+			}
+		}
+		passTotal, err := broadcastPass(ctx, engines, src, bufs, shards)
+		if err != nil {
+			return nil, err
+		}
+		if pass == 0 {
+			total = passTotal
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("simulate: empty trace")
+	}
+
+	points := make([]analysis.Point, len(cfg.Sizes))
+	for c, e := range engines {
+		for k := range e.clk {
+			i := offsets[c] + k
+			s := e.sample(k).Sub(e.base[k])
+			points[i] = analysis.Point{
+				CacheBytes:   cfg.Sizes[i],
+				CPI:          s.CPI(),
+				BandwidthGBs: s.BandwidthGBs(cfg.Machine.CPU.FreqHz),
+				FetchRatio:   s.FetchRatio(),
+				MissRatio:    s.MissRatio(),
+				Trusted:      true,
+				Samples:      1,
+			}
+		}
+	}
+	return points, nil
+}
+
+// broadcastPass streams one pass of src through every shard: the
+// fan-out's producer copies bounded runs of records out of the source
+// (decoding each block exactly once) and each shard consumer replays
+// every broadcast block against its own replicas. The pass total is
+// counted by the producer and safe to read after Stop joins it.
+func broadcastPass(ctx context.Context, engines []*fusedEngine, src trace.BlockSource, bufs []*recBlock, shards int) (int64, error) {
+	var cur []trace.Record // unconsumed tail of the source's current block
+	var total int64
+	fill := func(b *recBlock) error {
+		for len(cur) == 0 {
+			blk, err := src.NextBlock()
+			if err != nil {
+				return err
+			}
+			if len(blk) == 0 {
+				return io.EOF
+			}
+			cur = blk
+		}
+		n := len(cur)
+		if n > shardChunkRecords {
+			n = shardChunkRecords
+		}
+		copy(b.recs[:n], cur[:n])
+		b.n = n
+		cur = cur[n:]
+		total += int64(n)
+		return nil
+	}
+	f := runner.StartFanout(bufs, shards, fill)
+	err := runner.Run(ctx, runner.Pool{Workers: shards}, shards,
+		func(ctx context.Context, c int) error {
+			e := engines[c]
+			for {
+				b, ferr := f.Next(c)
+				if ferr == io.EOF {
+					return nil
+				}
+				if ferr != nil {
+					return ferr
+				}
+				if err := e.replayAll(ctx, b.recs[:b.n]); err != nil {
+					return err
+				}
+			}
+		})
+	// Stop only after Run has joined every consumer: the producer may
+	// be parked waiting for a free buffer, and Stop is what unblocks
+	// it for teardown.
+	f.Stop()
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// fusedPoints is the serial fused sweep: all sizes advance through
+// one replay of one source on the calling goroutine.
 func fusedPoints(ctx context.Context, cfg Config, open func() (trace.BlockSource, error), sizes []int64, ways []int) (pts []analysis.Point, err error) {
 	e, err := newFusedEngine(cfg, ways)
 	if err != nil {

@@ -1,0 +1,69 @@
+package simulate
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"cachepirate/internal/cache"
+	"cachepirate/internal/trace"
+)
+
+// BenchmarkSweepFusedSharded is the multi-core replay scaling table
+// (BENCH_parallel.json): the streamed fused sweep on the
+// BenchmarkSweepSerial workload (60k records, 16 sizes) with the
+// replica block sharded across j workers fed by one broadcast decode.
+// j=1 is the serial fused engine; the curve is bit-identical at every
+// width (internal/conformance), so the only thing that may move is
+// wall-clock.
+func BenchmarkSweepFusedSharded(b *testing.B) {
+	tr := CaptureTrace(randFactory(64<<10), 1, 0, 60000)
+	var buf bytes.Buffer
+	if err := tr.WriteV2Frames(&buf, trace.DefaultFrameRecords); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", workers), func(b *testing.B) {
+			cfg := benchSweepConfig(cache.Nehalem, EngineFused)
+			cfg.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := SweepStream(cfg, func() (trace.BlockSource, error) {
+					return trace.NewReader(bytes.NewReader(data), trace.ReaderOptions{Prefetch: 2})
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepFusedShardedParallelDecode composes both axes: the
+// sharded sweep reading through the parallel frame decoder, the full
+// cachesim -stream -j N -decode-j M pipeline.
+func BenchmarkSweepFusedShardedParallelDecode(b *testing.B) {
+	tr := CaptureTrace(randFactory(64<<10), 1, 0, 60000)
+	var buf bytes.Buffer
+	if err := tr.WriteV2Frames(&buf, trace.DefaultFrameRecords); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("j=%d", workers), func(b *testing.B) {
+			cfg := benchSweepConfig(cache.Nehalem, EngineFused)
+			cfg.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := SweepStream(cfg, func() (trace.BlockSource, error) {
+					return trace.NewParallelReader(bytes.NewReader(data),
+						trace.ParallelReaderOptions{Workers: workers})
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -107,10 +107,12 @@ type Config struct {
 	// WarmPasses: 0 cannot express this: zero is the "use the default"
 	// value, so it is promoted to 1.)
 	NoWarm bool
-	// Workers bounds how many sizes are simulated concurrently. Each
-	// size gets its own fresh machine and trace replayer, so results
-	// are bit-identical at any width; <= 0 means one worker per CPU, 1
-	// reproduces the historical serial order exactly.
+	// Workers bounds the sweep's parallelism. On the per-size engine
+	// each size gets its own fresh machine and trace replayer; on the
+	// fused engine the replica block is split into contiguous shards
+	// fed by one broadcast decode (DESIGN.md §16). Results are
+	// bit-identical at any width either way; <= 0 means one worker per
+	// CPU, 1 reproduces the historical serial order exactly.
 	Workers int
 }
 

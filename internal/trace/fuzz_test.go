@@ -83,6 +83,45 @@ func FuzzRead(f *testing.F) {
 				t.Fatalf("Reader.Close: %v", cerr)
 			}
 		}
+		// Second oracle: the parallel decode pool must accept exactly
+		// the same streams with the same records AND fail with the
+		// same error as the sync Reader — small Depth stresses the
+		// slot ring, Workers 2 exercises out-of-order completion.
+		var parallel []Record
+		pr, perr := NewParallelReader(bytes.NewReader(data),
+			ParallelReaderOptions{ReaderOptions: ReaderOptions{BlockRecords: 4}, Workers: 2, Depth: 3})
+		if perr == nil {
+			for {
+				blk, berr := pr.NextBlock()
+				if berr != nil {
+					perr = berr
+					break
+				}
+				if len(blk) == 0 {
+					break
+				}
+				parallel = append(parallel, blk...)
+			}
+			if cerr := pr.Close(); cerr != nil {
+				t.Fatalf("ParallelReader.Close: %v", cerr)
+			}
+		}
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("readers disagree: sync err = %v, parallel err = %v", serr, perr)
+		}
+		if serr != nil && perr.Error() != serr.Error() {
+			t.Fatalf("reader errors differ: sync %q, parallel %q", serr, perr)
+		}
+		// Records must agree up to the failure point too.
+		if len(parallel) != len(streamed) {
+			t.Fatalf("parallel decoded %d records, sync %d (sync err %v)", len(parallel), len(streamed), serr)
+		}
+		for i := range parallel {
+			if parallel[i] != streamed[i] {
+				t.Fatalf("record %d: parallel %+v, sync %+v", i, parallel[i], streamed[i])
+			}
+		}
+
 		if (err == nil) != (serr == nil) {
 			t.Fatalf("decoders disagree: Read err = %v, Reader err = %v", err, serr)
 		}

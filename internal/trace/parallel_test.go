@@ -1,0 +1,285 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// drainAll replays a full pass, returning the records and the error
+// that ended the pass (nil for a clean EOF).
+func drainAll(src BlockSource) ([]Record, error) {
+	var out []Record
+	for {
+		blk, err := src.NextBlock()
+		if err != nil {
+			return out, err
+		}
+		if len(blk) == 0 {
+			return out, nil
+		}
+		out = append(out, blk...)
+	}
+}
+
+func TestParallelReaderMatchesReader(t *testing.T) {
+	tr := testTrace(20000)
+	for _, frameRecords := range []int{64, 512, 4096} {
+		var buf bytes.Buffer
+		if err := tr.WriteV2Frames(&buf, frameRecords); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		for _, tc := range []struct{ workers, depth int }{
+			{2, 0}, {2, 3}, {4, 0}, {4, 5}, {8, 9},
+		} {
+			t.Run(fmt.Sprintf("frames=%d/w=%d/d=%d", frameRecords, tc.workers, tc.depth), func(t *testing.T) {
+				r, err := NewParallelReader(bytes.NewReader(data),
+					ParallelReaderOptions{Workers: tc.workers, Depth: tc.depth})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer func() {
+					if err := r.Close(); err != nil {
+						t.Error(err)
+					}
+				}()
+				if r.NumRecords() != int64(tr.Len()) || r.NumInstructions() != int64(tr.Instructions()) {
+					t.Fatalf("totals = %d records, %d instrs", r.NumRecords(), r.NumInstructions())
+				}
+				recordsEqual(t, tr.Records, drain(t, r))
+				// End of pass is sticky until Rewind.
+				if blk, err := r.NextBlock(); err != nil || blk != nil {
+					t.Fatalf("NextBlock after EOF = %v, %v", blk, err)
+				}
+				if err := r.Rewind(); err != nil {
+					t.Fatal(err)
+				}
+				recordsEqual(t, tr.Records, drain(t, r))
+			})
+		}
+	}
+}
+
+// TestParallelReaderDelegates pins the fallback paths: a v1 stream and
+// Workers == 1 must behave exactly like the sync Reader (they are the
+// sync Reader).
+func TestParallelReaderDelegates(t *testing.T) {
+	tr := testTrace(5000)
+	var v1 bytes.Buffer
+	if err := tr.Write(&v1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewParallelReader(bytes.NewReader(v1.Bytes()), ParallelReaderOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.inner == nil {
+		t.Fatal("v1 stream did not delegate to the sync Reader")
+	}
+	if r.NumRecords() != 5000 || r.NumInstructions() != -1 || r.Frames() != 0 {
+		t.Fatalf("v1 totals = %d, %d, %d frames", r.NumRecords(), r.NumInstructions(), r.Frames())
+	}
+	recordsEqual(t, tr.Records, drain(t, r))
+	if err := r.Rewind(); err != nil {
+		t.Fatal(err)
+	}
+	recordsEqual(t, tr.Records, drain(t, r))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var v2 bytes.Buffer
+	if err := tr.WriteV2(&v2); err != nil {
+		t.Fatal(err)
+	}
+	r, err = NewParallelReader(bytes.NewReader(v2.Bytes()), ParallelReaderOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.inner == nil {
+		t.Fatal("Workers=1 did not delegate to the sync Reader")
+	}
+	recordsEqual(t, tr.Records, drain(t, r))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelReaderErrorParity is the torn/corrupt-frame gate: for
+// every malformed stream the fuzz corpus knows, the ParallelReader
+// must surface the same error at the same stream offset (frame index,
+// record count) as the sync Reader — corruption past the failure point
+// that a pool worker may already have decoded must stay invisible.
+func TestParallelReaderErrorParity(t *testing.T) {
+	tr := testTrace(4096)
+	var buf bytes.Buffer
+	if err := tr.WriteV2Frames(&buf, 128); err != nil { // 32 frames
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	variant := func(name string, mutate func([]byte) []byte) (string, []byte) {
+		return name, mutate(append([]byte(nil), valid...))
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{}
+	add := func(name string, data []byte) {
+		cases = append(cases, struct {
+			name string
+			data []byte
+		}{name, data})
+	}
+	add(variant("torn-mid-frame", func(d []byte) []byte { return d[:len(d)*2/3] }))
+	add(variant("torn-in-header", func(d []byte) []byte { return d[:len(magic2)+7] }))
+	add(variant("corrupt-payload-mid", func(d []byte) []byte { d[len(d)/2] ^= 0xFF; return d }))
+	add(variant("corrupt-payload-early", func(d []byte) []byte { d[len(magic2)+16+12+40] ^= 0x20; return d }))
+	add(variant("corrupt-payload-last", func(d []byte) []byte { d[len(d)-3] ^= 0x01; return d }))
+	add(variant("trailing", func(d []byte) []byte { return append(d, 0xAB) }))
+	add(variant("header-mismatch", func(d []byte) []byte { d[len(magic2)] ^= 0x01; return d }))
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sr, serr := NewReader(bytes.NewReader(tc.data), ReaderOptions{}) // sync, no prefetch
+			pr, perr := NewParallelReader(bytes.NewReader(tc.data), ParallelReaderOptions{Workers: 4, Depth: 5})
+			if (serr == nil) != (perr == nil) {
+				t.Fatalf("constructor disagreement: sync %v, parallel %v", serr, perr)
+			}
+			if serr != nil {
+				if serr.Error() != perr.Error() {
+					t.Fatalf("constructor errors differ: sync %q, parallel %q", serr, perr)
+				}
+				return
+			}
+			sGot, sFail := drainAll(sr)
+			pGot, pFail := drainAll(pr)
+			if (sFail == nil) != (pFail == nil) {
+				t.Fatalf("pass disagreement: sync %v, parallel %v", sFail, pFail)
+			}
+			if sFail != nil && sFail.Error() != pFail.Error() {
+				t.Fatalf("errors differ: sync %q, parallel %q", sFail, pFail)
+			}
+			if len(sGot) != len(pGot) {
+				t.Fatalf("records before failure differ: sync %d, parallel %d", len(sGot), len(pGot))
+			}
+			recordsEqual(t, sGot, pGot)
+			if sr.Frames() != pr.Frames() {
+				t.Fatalf("failure offset differs: sync frame %d, parallel frame %d", sr.Frames(), pr.Frames())
+			}
+			// Both errors are sticky.
+			if _, err := pr.NextBlock(); sFail != nil && err == nil {
+				t.Fatal("parallel error not sticky")
+			}
+			if err := sr.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := pr.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestParallelReaderCorruptChecksumField flips a bit in a stored
+// checksum (not the payload): the chain-seed trust must still fail at
+// exactly that frame, because the consumer stops at the first in-order
+// error even though the *next* frame's worker also fails (its seed is
+// the corrupt value).
+func TestParallelReaderCorruptChecksumField(t *testing.T) {
+	tr := testTrace(1024)
+	var buf bytes.Buffer
+	if err := tr.WriteV2Frames(&buf, 128); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Find the third frame's checksum field by walking the frames.
+	off := headerSize2
+	for frame := 0; frame < 2; frame++ {
+		_, n1 := uvarintAt(t, data, off)
+		plen, n2 := uvarintAt(t, data, off+n1)
+		off += n1 + n2 + 8 + int(plen)
+	}
+	_, n1 := uvarintAt(t, data, off)
+	_, n2 := uvarintAt(t, data, off+n1)
+	corrupt := append([]byte(nil), data...)
+	corrupt[off+n1+n2] ^= 0x04 // third frame's stored checksum
+
+	sr, err := NewReader(bytes.NewReader(corrupt), ReaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewParallelReader(bytes.NewReader(corrupt), ParallelReaderOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sGot, sFail := drainAll(sr)
+	pGot, pFail := drainAll(pr)
+	if sFail != errFrameChecksum || pFail != errFrameChecksum {
+		t.Fatalf("want checksum mismatch from both, got sync %v, parallel %v", sFail, pFail)
+	}
+	if sr.Frames() != 2 || pr.Frames() != 2 {
+		t.Fatalf("failure offset: sync frame %d, parallel frame %d, want 2", sr.Frames(), pr.Frames())
+	}
+	recordsEqual(t, sGot, pGot)
+	if err := sr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func uvarintAt(t *testing.T, data []byte, off int) (uint64, int) {
+	t.Helper()
+	var v uint64
+	var shift uint
+	for i := 0; ; i++ {
+		b := data[off+i]
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, i + 1
+		}
+		shift += 7
+	}
+}
+
+// TestParallelReaderSteadyStateAllocFree gates the consumer side of
+// the decode pool: once the pool buffers have grown, NextBlock must
+// not allocate on the delivering goroutine (workers allocate nothing
+// either after warm-up, but AllocsPerRun can only see this one).
+func TestParallelReaderSteadyStateAllocFree(t *testing.T) {
+	tr := testTrace(16 * 1024)
+	var buf bytes.Buffer
+	if err := tr.WriteV2Frames(&buf, 256); err != nil { // 64 frames
+		t.Fatal(err)
+	}
+	r, err := NewParallelReader(bytes.NewReader(buf.Bytes()), ParallelReaderOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := r.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if got := drain(t, r); len(got) != tr.Len() { // warm pass
+		t.Fatalf("warm pass decoded %d records", len(got))
+	}
+	if err := r.Rewind(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(16, func() {
+		blk, err := r.NextBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blk) == 0 {
+			t.Fatal("pass ended inside the measurement window")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state parallel NextBlock allocates %v times; want 0", allocs)
+	}
+}

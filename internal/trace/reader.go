@@ -83,8 +83,11 @@ type Reader struct {
 	passRecs   int64  // records surfaced this pass, checked against the header at EOF
 	passInstrs uint64 // instruction total surfaced this pass, ditto
 	fill       *runner.Fill[*blockBuf]
-	eof        bool
-	err        error
+	// fillFn is decodeInto bound once at construction: taking the
+	// method value per pass would allocate a closure on every Rewind.
+	fillFn func(*blockBuf) error
+	eof    bool
+	err    error
 }
 
 // errHeaderMismatch reports a stream whose header-declared record
@@ -110,6 +113,7 @@ func NewReader(rs io.ReadSeeker, o ReaderOptions) (*Reader, error) {
 	for i := range r.bufs {
 		r.bufs[i] = &blockBuf{}
 	}
+	r.fillFn = r.decodeInto
 	r.startFill()
 	return r, nil
 }
@@ -187,12 +191,20 @@ func (r *Reader) endOfPass() error {
 }
 
 // startFill launches the background decode pipeline when prefetch is
-// enabled; with Prefetch == 0 NextBlock decodes synchronously.
+// enabled; with Prefetch == 0 NextBlock decodes synchronously. After
+// the first pass the pipeline is restarted rather than rebuilt: the
+// channels and the Fill itself live as long as the Reader, so a
+// Rewind costs one goroutine, not a new pipeline (see
+// TestReaderRewindAllocs).
 func (r *Reader) startFill() {
 	if r.opts.prefetch() == 0 {
 		return
 	}
-	r.fill = runner.StartFill(r.bufs, r.decodeInto)
+	if r.fill != nil {
+		r.fill.Restart(r.fillFn)
+		return
+	}
+	r.fill = runner.StartFill(r.bufs, r.fillFn)
 }
 
 // decodeInto fills one block buffer from the stream, returning io.EOF
@@ -323,18 +335,20 @@ func (r *Reader) NextBlock() ([]Record, error) {
 
 // Rewind restarts the stream for another pass: it stops any prefetch
 // pipeline, seeks back to the start, re-reads the header, and
-// restarts prefetch. Blocks from the previous pass are invalidated.
+// restarts prefetch (reusing the stopped pipeline). Blocks from the
+// previous pass are invalidated.
 func (r *Reader) Rewind() error {
 	if r.fill != nil {
 		r.fill.Stop()
-		r.fill = nil
 	}
 	if _, err := r.rs.Seek(0, io.SeekStart); err != nil {
+		r.fill = nil
 		return err
 	}
 	r.br.Reset(r.rs)
 	r.cur = 0
 	if err := r.readHeader(); err != nil {
+		r.fill = nil
 		return err
 	}
 	r.startFill()

@@ -224,6 +224,90 @@ func TestReaderSteadyStateAllocFree(t *testing.T) {
 	}
 }
 
+// TestReaderPrefetchSteadyStateAllocFree gates the prefetch path the
+// way TestReaderSteadyStateAllocFree gates the sync path: mid-pass,
+// with grown buffers, neither the consumer's NextBlock nor the
+// background fill goroutine may allocate (AllocsPerRun counts process-
+// wide mallocs, so the producer is covered too).
+func TestReaderPrefetchSteadyStateAllocFree(t *testing.T) {
+	tr := testTrace(16 * 1024)
+	var buf bytes.Buffer
+	if err := tr.WriteV2Frames(&buf, 256); err != nil { // 64 frames
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), ReaderOptions{Prefetch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := r.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if got := drain(t, r); len(got) != tr.Len() { // warm: grow all buffers
+		t.Fatalf("warm pass decoded %d records", len(got))
+	}
+	if err := r.Rewind(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(16, func() {
+		blk, err := r.NextBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blk) == 0 {
+			t.Fatal("pass ended inside the measurement window")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state prefetch NextBlock allocates %v times; want 0", allocs)
+	}
+}
+
+// TestReaderRewindAllocs pins the satellite fix for the prefetch
+// hand-off overhead: Rewind now restarts the existing Fill pipeline
+// (runner.Fill.Restart) instead of rebuilding it, so a pass costs one
+// goroutine and one join channel — not four channels, a Fill struct
+// and a method-value closure. The bound is deliberately loose (the
+// goroutine spawn's bookkeeping varies by runtime version) but far
+// below the ~11 allocations of a rebuilt pipeline.
+func TestReaderRewindAllocs(t *testing.T) {
+	tr := testTrace(2 * 1024)
+	var buf bytes.Buffer
+	if err := tr.WriteV2Frames(&buf, 256); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), ReaderOptions{Prefetch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := r.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if got := drain(t, r); len(got) != tr.Len() {
+		t.Fatalf("warm pass decoded %d records", len(got))
+	}
+	allocs := testing.AllocsPerRun(8, func() {
+		if err := r.Rewind(); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			blk, err := r.NextBlock()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(blk) == 0 {
+				break
+			}
+		}
+	})
+	if allocs > 6 {
+		t.Errorf("Rewind + full pass allocates %v times; want <= 6 with a reused pipeline", allocs)
+	}
+}
+
 // TestReplayerBlockSource pins the in-memory implementation of the
 // interface the streamed reader drops in for.
 func TestReplayerBlockSource(t *testing.T) {
